@@ -1,0 +1,5 @@
+#!/bin/bash
+cd /root/repo
+python -m pytest benchmarks/ --benchmark-only -s > /root/repo/bench_output.txt 2>&1
+python -m pytest tests/ > /root/repo/test_output.txt 2>&1
+echo FINALIZE_DONE

@@ -1,0 +1,21 @@
+"""Benchmark-suite helpers.
+
+Every benchmark runs its experiment once (``rounds=1``) — these are
+discrete-event simulations, not microbenchmarks, and the interesting
+output is the table each prints (the paper's rows), with wall-clock
+time as a bonus metric.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """pytest-benchmark wrapper: one round, one iteration."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def show(result, *extra_lines):
+    print()
+    print(result.format_table())
+    for line in extra_lines:
+        print(line)

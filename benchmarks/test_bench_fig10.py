@@ -1,0 +1,18 @@
+"""Fig. 10 — SYN -> SYN/ACK processing delay (real wall clock)."""
+
+from repro.experiments.fig10 import run_fig10
+
+from conftest import run_once, show
+
+
+def test_fig10_setup_latency(benchmark):
+    result = run_once(benchmark, run_fig10, attempts=2000)
+    show(result)
+    medians = {row["variant"]: row["p50_us"] for row in result.rows}
+    # TCP accepts fastest; MPTCP pays for key generation, token hashing
+    # and the uniqueness check.
+    assert medians["tcp"] < medians["mptcp"]
+    # The check gets costlier as the connection table grows (the 100-
+    # vs 1000-connection curves).  Wall-clock noise on shared CI boxes
+    # is real, so the bound is loose.
+    assert medians["mptcp-1000conn"] > 0.8 * medians["mptcp"]

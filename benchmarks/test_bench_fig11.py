@@ -1,0 +1,25 @@
+"""Fig. 11 — apachebench-style HTTP: TCP vs bonding vs MPTCP."""
+
+from repro.experiments.fig11 import check_claims, run_fig11
+
+from conftest import run_once, show
+
+
+def test_fig11_http_requests_per_second(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig11,
+        sizes_kb=(4, 30, 100, 200, 300),
+        concurrency=100,
+        duration=8.0,
+    )
+    claims = check_claims(result)
+    show(result, f"claims: {claims}")
+    # Below ~30 KB the extra subflow is pure overhead (§5.3).
+    assert claims["small_files_favor_tcp"]
+    # Above ~100 KB MPTCP roughly doubles single-link TCP.
+    assert claims["mptcp_doubles_tcp_large"]
+    # Bonding pays no setup cost: strong at small sizes.
+    assert claims["bonding_strong_small"]
+    # At the largest sizes MPTCP is at least on par with bonding.
+    assert claims["mptcp_matches_bonding_large"]

@@ -1,0 +1,21 @@
+"""Fig. 4 — throughput vs receive buffer over WiFi + 3G (§4.2)."""
+
+from repro.experiments.fig4 import check_claims, run_fig4
+
+from conftest import run_once, show
+
+
+def test_fig4_receive_buffer_sweep(benchmark):
+    result = run_once(
+        benchmark, run_fig4, buffers_kb=(50, 100, 200, 300, 500, 1000), duration=20.0
+    )
+    claims = check_claims(result)
+    show(result, f"claims: {claims}")
+    # (a) regular MPTCP loses to TCP-over-WiFi in the mid-range.
+    assert claims["regular_dips_below_tcp_wifi"]
+    # (b) M1 recovers goodput where regular dips.
+    assert claims["m1_beats_regular_midrange"]
+    # (c/d) M1+M2 ≈ TCP over the best path everywhere, and aggregates
+    # both paths once buffers allow.
+    assert claims["m12_matches_tcp_wifi"]
+    assert claims["m12_aggregates_at_large_buffers"]

@@ -1,0 +1,16 @@
+"""Fig. 5 — memory use vs configured buffer; capping (M4) halves it."""
+
+from repro.experiments.fig5 import check_claims, run_fig5
+
+from conftest import run_once, show
+
+
+def test_fig5_memory_usage(benchmark):
+    result = run_once(
+        benchmark, run_fig5, buffers_kb=(100, 200, 400, 800, 1200), duration=20.0
+    )
+    claims = check_claims(result)
+    show(result, f"claims: {claims}")
+    assert claims["capping_halves_memory"]
+    assert claims["tcp_wifi_lowest"]
+    assert claims["mptcp_uses_more_than_tcp"]

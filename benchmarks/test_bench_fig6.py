@@ -1,0 +1,34 @@
+"""Fig. 6 — M1/M2 across scenario panels: lossy 3G, asymmetric wired,
+symmetric links."""
+
+from repro.experiments.fig6 import (
+    check_claims,
+    run_panel_a,
+    run_panel_b,
+    run_panel_c,
+)
+
+from conftest import show
+
+
+def test_fig6_all_panels(benchmark):
+    def run_all():
+        a = run_panel_a(buffers_kb=(100, 200, 400, 800), duration=25.0)
+        b = run_panel_b(buffers_kb=(64, 128, 256, 512, 1024), duration=10.0)
+        c = run_panel_c(buffers_kb=(64, 256, 1024), duration=10.0)
+        return a, b, c
+
+    panel_a, panel_b, panel_c = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    claims = check_claims(panel_a, panel_b, panel_c)
+    for panel in (panel_a, panel_b, panel_c):
+        show(panel)
+    print(f"claims: {claims}")
+    # (a) underbuffered + lossy 3G: the mechanisms give a many-fold gain
+    # (the paper reports tenfold around 200 KB).
+    assert claims["panel_a_big_gain_small_buffers"]
+    # (b) asymmetric links: regular MPTCP collapses somewhere in the
+    # sweep; M1,2 stays at or near the fast link's rate throughout.
+    assert claims["panel_b_regular_collapses"]
+    assert claims["panel_b_m12_robust"]
+    # (c) symmetric links: variants within tolerance of each other.
+    assert claims["panel_c_equal"]

@@ -1,0 +1,17 @@
+"""Fig. 7 — application-level block latency (8 KB blocks, 200 KB buffer)."""
+
+from repro.experiments.fig7 import check_claims, run_fig7
+
+from conftest import run_once, show
+
+
+def test_fig7_app_latency(benchmark):
+    result = run_once(benchmark, run_fig7, duration=25.0)
+    claims = check_claims(result)
+    show(result, f"claims: {claims}")
+    # M1+M2 trims regular MPTCP's heavy tail (the figure's main point).
+    assert claims["m12_avoids_regular_tail"]
+    assert claims["m12_mean_below_regular"]
+    # The counter-intuitive §4.2.1 comparison: MPTCP+M1,2's latency sits
+    # in TCP-over-WiFi's band, not above it like regular MPTCP's.
+    assert claims["tcp_wifi_latency_comparable_to_m12"]

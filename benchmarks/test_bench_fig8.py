@@ -1,0 +1,25 @@
+"""Fig. 8 — receiver CPU load under the §4.3 ooo algorithms."""
+
+from repro.experiments.fig8 import check_claims, run_fig8
+
+from conftest import run_once, show
+
+
+def test_fig8_receive_algorithms(benchmark):
+    result = run_once(benchmark, run_fig8, subflow_counts=(2, 8), duration=6.0)
+    claims = check_claims(result)
+    show(result, f"TCP baseline: {result.notes['tcp_baseline_pct']:.1f}%",
+         f"claims: {claims}")
+    utils = {
+        (row["subflows"], row["algorithm"]): row["utilization_pct"]
+        for row in result.rows
+    }
+    # The paper's ordering: Regular worst, Tree helps, Shortcuts and
+    # AllShortcuts help much more — with the big effect at 8 subflows.
+    assert utils[(8, "regular")] > utils[(8, "tree")]
+    assert utils[(8, "regular")] > utils[(8, "allshortcuts")] * 1.5
+    assert utils[(2, "regular")] > utils[(2, "allshortcuts")]
+    # Shortcut pointers hit for the majority of insertions (§4.3: 80%).
+    assert claims["shortcut_hit_rate_high"]
+    # MPTCP costs more CPU than plain TCP at the same arrival rate.
+    assert min(utils.values()) > result.notes["tcp_baseline_pct"]

@@ -1,0 +1,15 @@
+"""Fig. 9 — MPTCP over real-world-like 3G (NATted) + capped WiFi."""
+
+from repro.experiments.fig9 import check_claims, run_fig9
+
+from conftest import run_once, show
+
+
+def test_fig9_real_world_paths(benchmark):
+    result = run_once(benchmark, run_fig9, duration=20.0)
+    claims = check_claims(result)
+    show(result, f"claims: {claims}")
+    assert claims["mptcp_never_underperforms"]
+    assert claims["mptcp_near_double_at_large_buffer"]
+    assert claims["mptcp_25pct_better_at_100kb"]
+    assert claims["mptcp_worked_through_nat"]

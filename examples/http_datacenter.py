@@ -1,0 +1,101 @@
+"""HTTP serving over dual paths: TCP vs link bonding vs MPTCP (§5.3).
+
+An apachebench-style closed-loop client pool hammers a server reachable
+over two parallel links, at two file sizes — one below the paper's
+crossover (where MPTCP's subflow-setup overhead loses to plain TCP) and
+one well above it (where striping roughly doubles the request rate).
+
+Run:  python examples/http_datacenter.py
+"""
+
+from repro.apps.bonding import bond_interfaces
+from repro.apps.http import HTTPLoadGenerator, HTTPServerApp
+from repro.mptcp import MPTCPConfig
+from repro.mptcp import connect as mptcp_connect
+from repro.mptcp import listen as mptcp_listen
+from repro.net import Endpoint, Network
+from repro.tcp import Listener, TCPSocket
+
+LINK = {"rate_bps": 40e6, "delay": 0.002}
+CLIENTS = 60
+DURATION = 8.0
+
+
+def serve_tcp(size: int) -> float:
+    net = Network(seed=3)
+    client = net.add_host("client", "10.0.0.1")
+    server = net.add_host("server", "10.99.0.1")
+    net.connect(client.interface("10.0.0.1"), server.interface("10.99.0.1"), **LINK)
+    app = HTTPServerApp()
+    Listener(server, 80, on_accept=app.on_accept)
+
+    def open_transport():
+        sock = TCPSocket(client)
+        sock.connect(Endpoint("10.99.0.1", 80))
+        return sock
+
+    generator = HTTPLoadGenerator(net.sim, open_transport, size, CLIENTS)
+    generator.start()
+    net.run(until=DURATION)
+    return generator.requests_per_second()
+
+
+def serve_bonded(size: int) -> float:
+    net = Network(seed=3)
+    client = net.add_host("client")
+    server = net.add_host("server")
+    bond_interfaces(
+        net, client, "10.0.0.1", server, "10.99.0.1", links=[dict(LINK), dict(LINK)],
+        mode="per-flow",
+    )
+    app = HTTPServerApp()
+    Listener(server, 80, on_accept=app.on_accept)
+
+    def open_transport():
+        sock = TCPSocket(client)
+        sock.connect(Endpoint("10.99.0.1", 80))
+        return sock
+
+    generator = HTTPLoadGenerator(net.sim, open_transport, size, CLIENTS)
+    generator.start()
+    net.run(until=DURATION)
+    return generator.requests_per_second()
+
+
+def serve_mptcp(size: int) -> float:
+    net = Network(seed=3)
+    client = net.add_host("client", "10.0.0.1", "10.1.0.1")
+    server = net.add_host("server", "10.99.0.1", "10.99.1.1")
+    net.connect(client.interface("10.0.0.1"), server.interface("10.99.0.1"), **LINK)
+    net.connect(client.interface("10.1.0.1"), server.interface("10.99.1.1"), **LINK)
+    config = MPTCPConfig(checksum=False)  # a datacenter: checksums off (§3.3.6)
+    app = HTTPServerApp()
+    mptcp_listen(server, 80, config=config, on_accept=app.on_accept)
+
+    def open_transport():
+        return mptcp_connect(client, Endpoint("10.99.0.1", 80), config=config)
+
+    generator = HTTPLoadGenerator(net.sim, open_transport, size, CLIENTS)
+    generator.start()
+    net.run(until=DURATION)
+    return generator.requests_per_second()
+
+
+def main() -> None:
+    print(f"{CLIENTS} closed-loop HTTP clients, two 40 Mb/s links\n")
+    print(f"{'file size':>10} {'TCP (1 link)':>14} {'bonding':>10} {'MPTCP':>10}")
+    for size_kb in (8, 200):
+        size = size_kb * 1024
+        tcp = serve_tcp(size)
+        bonded = serve_bonded(size)
+        mptcp = serve_mptcp(size)
+        print(f"{size_kb:>8}KB {tcp:>12.0f}/s {bonded:>8.0f}/s {mptcp:>8.0f}/s")
+    print(
+        "\nSmall files: connection-setup costs dominate and MPTCP's extra\n"
+        "subflow is pure overhead.  Large files: striping across both\n"
+        "links roughly doubles the served request rate (§5.3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""repro — a full reproduction of "How Hard Can It Be?  Designing and
+Implementing a Deployable Multipath TCP" (Raiciu et al., NSDI 2012).
+
+The package is a self-contained, deterministic, packet-level network
+laboratory:
+
+* :mod:`repro.sim` — the discrete-event engine;
+* :mod:`repro.net` — wire-accurate segments/options, links, paths, hosts;
+* :mod:`repro.tcp` — a complete TCP (handshake, SACK recovery, flow
+  control, teardown);
+* :mod:`repro.mptcp` — the paper's contribution: the full MPTCP protocol
+  with its middlebox-driven design decisions, the receive-buffer
+  mechanisms M1-M4, and the §4.3 receive algorithms;
+* :mod:`repro.middlebox` — Click-style middlebox models;
+* :mod:`repro.apps` — bulk/HTTP/latency workloads and link bonding;
+* :mod:`repro.study` — the §3 middlebox measurement study, synthesized;
+* :mod:`repro.experiments` — one harness per table/figure in the paper.
+
+Quickstart::
+
+    from repro.net import Network, Endpoint
+    from repro.mptcp import connect, listen
+
+    net = Network(seed=1)
+    phone = net.add_host("phone", "10.0.0.1", "10.1.0.1")
+    server = net.add_host("server", "10.9.0.1")
+    net.connect(phone.interface("10.0.0.1"), server.interface("10.9.0.1"),
+                rate_bps=8e6, delay=0.01)
+    net.connect(phone.interface("10.1.0.1"), server.interface("10.9.0.1"),
+                rate_bps=2e6, delay=0.075)
+
+    listen(server, 80, on_accept=my_handler)
+    conn = connect(phone, Endpoint("10.9.0.1", 80))
+    conn.send(b"hello over two paths")
+    net.run(until=5)
+"""
+
+__version__ = "1.0.0"
+
+from repro.net.network import Network
+from repro.net.packet import Endpoint
+
+__all__ = ["Network", "Endpoint", "__version__"]

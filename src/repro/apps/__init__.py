@@ -1,0 +1,23 @@
+"""Applications driving the transports.
+
+Everything here is transport-agnostic: :class:`~repro.tcp.TCPSocket`
+and :class:`~repro.mptcp.MPTCPConnection` expose the same surface
+(``send``/``read``/``close`` plus ``on_*`` callbacks), mirroring the
+paper's goal that applications run unmodified over MPTCP.
+"""
+
+from repro.apps.bulk import BulkReceiverApp, BulkSenderApp, run_bulk_transfer
+from repro.apps.blocks import BlockLatencyProbe
+from repro.apps.http import HTTPLoadGenerator, HTTPServerApp
+from repro.apps.bonding import BondRoute, bond_interfaces
+
+__all__ = [
+    "BulkSenderApp",
+    "BulkReceiverApp",
+    "run_bulk_transfer",
+    "BlockLatencyProbe",
+    "HTTPServerApp",
+    "HTTPLoadGenerator",
+    "BondRoute",
+    "bond_interfaces",
+]

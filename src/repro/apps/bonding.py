@@ -1,0 +1,129 @@
+"""Round-robin link bonding (the Fig. 11 baseline).
+
+Linux's ``balance-rr`` bonding mode sprays packets of a single flow
+across the team's links below TCP — no per-flow hashing, no transport
+awareness.  Here a :class:`BondRoute` stands in for a routing-table
+entry: it owns several real duplex paths between the same two hosts and
+round-robins outgoing segments across them (per direction).
+
+The paper's observation that this works *well* for small files (the
+round-robin spreads load perfectly) but loses to MPTCP for large ones
+(whole flows collide on a congested link and the team flips between
+congested/idle states; and with unequal links, reordering grows) falls
+out of the model.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.net.network import Network
+from repro.net.node import Host
+from repro.net.packet import Segment
+from repro.net.path import FORWARD, REVERSE, Path
+
+
+class BondRoute:
+    """A route that round-robins segments over member paths."""
+
+    def __init__(
+        self,
+        paths: Sequence[tuple[Path, int]],
+        name: str = "bond",
+        reverse_mode: str = "round-robin",
+        mode: str = "per-packet",
+    ):
+        if not paths:
+            raise ValueError("a bond needs at least one member path")
+        if reverse_mode not in ("round-robin", "pin-first"):
+            raise ValueError("reverse_mode must be 'round-robin' or 'pin-first'")
+        if mode not in ("per-packet", "per-flow"):
+            raise ValueError("mode must be 'per-packet' or 'per-flow'")
+        self.members = list(paths)  # (path, direction-when-forward)
+        self.name = name
+        self.reverse_mode = reverse_mode
+        self.mode = mode
+        self._cursor_fwd = 0
+        self._cursor_rev = 0
+        self._flow_assignment: dict[tuple, int] = {}
+        self._next_flow = 0
+        self.segments_fwd = 0
+        self.segments_rev = 0
+
+    def _member_for_flow(self, segment: Segment) -> int:
+        """Per-flow assignment: connections hash onto links and stick
+        there (802.3ad-style).  Hashing — not round-robin — is what
+        makes whole flows collide on one link while the other idles,
+        the large-file pathology of §5.3."""
+        key = (segment.src, segment.dst)
+        index = self._flow_assignment.get(key)
+        if index is None:
+            reverse_key = (segment.dst, segment.src)
+            index = self._flow_assignment.get(reverse_key)
+            if index is None:
+                import zlib
+
+                digest = zlib.crc32(f"{segment.src}|{segment.dst}".encode())
+                index = digest % len(self.members)
+            self._flow_assignment[key] = index
+        return index
+
+    def send(self, segment: Segment, direction: int) -> None:
+        if direction == FORWARD:
+            if self.mode == "per-flow":
+                member = self._member_for_flow(segment)
+            else:
+                member = self._cursor_fwd
+                self._cursor_fwd = (self._cursor_fwd + 1) % len(self.members)
+            path, member_direction = self.members[member]
+            self.segments_fwd += 1
+            path.send(segment, member_direction)
+        else:
+            if self.mode == "per-flow":
+                path, member_direction = self.members[self._member_for_flow(segment)]
+                self.segments_rev += 1
+                path.send(segment, -member_direction)
+                return
+            if self.reverse_mode == "pin-first":
+                path, member_direction = self.members[0]
+            else:
+                path, member_direction = self.members[self._cursor_rev]
+                self._cursor_rev = (self._cursor_rev + 1) % len(self.members)
+            self.segments_rev += 1
+            path.send(segment, -member_direction)
+
+
+def bond_interfaces(
+    net: Network,
+    host_a: Host,
+    ip_a: str,
+    host_b: Host,
+    ip_b: str,
+    links: Sequence[dict],
+    name: str = "bond",
+    mode: str = "per-packet",
+    reverse_mode: str = "round-robin",
+) -> BondRoute:
+    """Create N parallel paths between one interface pair and install a
+    round-robin bond as the route between them.
+
+    ``links`` is a list of Link keyword-argument dicts (rate_bps, delay,
+    queue_bytes, ...), one per member.
+    """
+    try:
+        iface_a = host_a.interface(ip_a)
+    except KeyError:
+        iface_a = host_a.add_interface(ip_a)
+    try:
+        iface_b = host_b.interface(ip_b)
+    except KeyError:
+        iface_b = host_b.add_interface(ip_b)
+    members: list[tuple[Path, int]] = []
+    for index, kwargs in enumerate(links):
+        path = net.connect(iface_a, iface_b, name=f"{name}[{index}]", **kwargs)
+        members.append((path, FORWARD))
+    bond = BondRoute(members, name=name, mode=mode, reverse_mode=reverse_mode)
+    # Override the single-path routes the connects installed.
+    iface_a.routes[ip_b] = (bond, FORWARD)  # type: ignore[assignment]
+    iface_b.routes[ip_a] = (bond, REVERSE)  # type: ignore[assignment]
+    return bond

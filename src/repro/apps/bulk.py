@@ -1,0 +1,134 @@
+"""Bulk transfer: the workload behind Figs. 4, 5, 6 and 9.
+
+The sender pushes a byte stream as fast as the transport accepts it
+(long download model); the receiver reads immediately (the paper's
+receiver-memory discussion assumes "the receiving application reads as
+soon as data is available") and meters goodput.  Wire throughput —
+including reinjections, which goodput excludes — comes from the link
+statistics, giving Fig. 4(b)'s goodput/throughput split.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.stats.metrics import GoodputMeter
+
+_PATTERN = bytes(range(256)) * 256  # 64 KiB of repeating payload
+
+
+def pattern_bytes(offset: int, length: int) -> bytes:
+    """Deterministic stream contents, addressable by offset."""
+    start = offset % 256
+    chunk = (_PATTERN * 2)[start : start + length]
+    while len(chunk) < length:
+        chunk += _PATTERN[: length - len(chunk)]
+    return chunk
+
+
+class BulkSenderApp:
+    """Feeds ``total_bytes`` (or unbounded when None) into a transport."""
+
+    def __init__(self, transport, total_bytes: Optional[int], chunk: int = 64 * 1024):
+        self.transport = transport
+        self.total_bytes = total_bytes
+        self.chunk = chunk
+        self.sent = 0
+        self.done = False
+        transport.on_established = self._pump
+        transport.on_writable = self._pump
+
+    def _pump(self, _transport=None) -> None:
+        if self.done:
+            return
+        while self.total_bytes is None or self.sent < self.total_bytes:
+            want = self.chunk
+            if self.total_bytes is not None:
+                want = min(want, self.total_bytes - self.sent)
+            accepted = self.transport.send(pattern_bytes(self.sent, want))
+            if accepted == 0:
+                return
+            self.sent += accepted
+        self.done = True
+        self.transport.close()
+
+
+class BulkReceiverApp:
+    """Reads everything immediately; tracks goodput and completion."""
+
+    def __init__(
+        self,
+        transport,
+        meter: GoodputMeter,
+        expect_bytes: Optional[int] = None,
+        on_complete: Optional[Callable[[], None]] = None,
+        verify: bool = False,
+    ):
+        self.transport = transport
+        self.meter = meter
+        self.expect_bytes = expect_bytes
+        self.on_complete = on_complete
+        self.verify = verify
+        self.received = 0
+        self.corrupt = False
+        self.completed_at: Optional[float] = None
+        transport.on_data = self._drain
+        transport.on_eof = self._eof
+
+    def _drain(self, transport) -> None:
+        data = transport.read()
+        if not data:
+            return
+        if self.verify and pattern_bytes(self.received, len(data)) != data:
+            self.corrupt = True
+        self.received += len(data)
+        self.meter.add(len(data))
+        if self.expect_bytes is not None and self.received >= self.expect_bytes:
+            self._complete()
+
+    def _eof(self, transport) -> None:
+        self._complete()
+        transport.close()
+
+    def _complete(self) -> None:
+        if self.completed_at is None:
+            self.completed_at = self.transport.sim.now if hasattr(self.transport, "sim") else None
+            self.meter.finish()
+            if self.on_complete is not None:
+                self.on_complete()
+
+
+def run_bulk_transfer(
+    net,
+    open_transport: Callable[[], object],
+    accept_transport: Callable[[Callable], None],
+    total_bytes: int,
+    duration: float,
+    verify: bool = False,
+) -> dict:
+    """Wire a sender and a receiver together and run; returns metrics.
+
+    ``open_transport`` creates the client-side transport (already
+    connecting); ``accept_transport(callback)`` arranges for the server
+    side to call ``callback(transport)`` on accept.
+    """
+    meter = GoodputMeter(net.sim)
+    state: dict = {}
+
+    def on_accept(transport):
+        state["receiver"] = BulkReceiverApp(
+            transport, meter, expect_bytes=total_bytes, verify=verify
+        )
+
+    accept_transport(on_accept)
+    transport = open_transport()
+    state["sender"] = BulkSenderApp(transport, total_bytes)
+    net.run(until=duration)
+    receiver = state.get("receiver")
+    return {
+        "received": receiver.received if receiver else 0,
+        "goodput_bps": meter.rate_bps(),
+        "completed_at": receiver.completed_at if receiver else None,
+        "corrupt": receiver.corrupt if receiver else True,
+        "meter": meter,
+    }

@@ -1,0 +1,14 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+Every module exposes ``run_*`` functions returning an
+:class:`~repro.experiments.common.ExperimentResult` (rows of named
+values) plus a ``main()`` that prints the same series the paper plots.
+The benchmark suite under ``benchmarks/`` invokes these with reduced
+("quick") parameters; run a module directly for the full sweep::
+
+    python -m repro.experiments.fig4
+"""
+
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["ExperimentResult"]

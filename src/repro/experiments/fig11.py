@@ -1,0 +1,169 @@
+"""Fig. 11 — Apache-style HTTP benchmark (§5.3).
+
+100 closed-loop clients fetch files of a given size over two parallel
+links; requests/second is plotted against file size for:
+
+* **regular TCP** — one link only,
+* **bonding TCP** — plain TCP over both links, bonded below the
+  transport (per-flow assignment, as discussed in §5.3),
+* **MPTCP** — one connection with a subflow per link.
+
+The paper's shape: below ~30 KB MPTCP loses to TCP (subflow
+establishment overhead on connections that finish in slow start); above
+~100 KB it serves about twice the requests; the MPTCP-vs-bonding
+crossover appears around 150 KB, where bonding starts colliding whole
+flows on one link.
+
+Rates are scaled from the paper's 2 x 1 Gb/s to 2 x 40 Mb/s (requests/s
+scales proportionally; the crossovers are in file-size terms and are
+preserved).
+"""
+
+from __future__ import annotations
+
+from repro.apps.bonding import bond_interfaces
+from repro.apps.http import HTTPLoadGenerator, HTTPServerApp
+from repro.experiments.common import ExperimentResult
+from repro.mptcp.api import connect as mptcp_connect
+from repro.mptcp.api import listen as mptcp_listen
+from repro.mptcp.connection import MPTCPConfig
+from repro.net.network import Network
+from repro.net.packet import Endpoint
+from repro.tcp.listener import Listener
+from repro.tcp.socket import TCPConfig, TCPSocket
+
+LINK_RATE = 40e6
+LINK_DELAY = 0.002
+DEFAULT_SIZES_KB = (4, 10, 30, 60, 100, 150, 200, 300)
+
+
+def _run_tcp(size: int, concurrency: int, duration: float, seed: int) -> float:
+    net = Network(seed=seed)
+    client = net.add_host("client", "10.0.0.1")
+    server = net.add_host("server", "10.99.0.1")
+    net.connect(
+        client.interface("10.0.0.1"),
+        server.interface("10.99.0.1"),
+        rate_bps=LINK_RATE,
+        delay=LINK_DELAY,
+    )
+    app = HTTPServerApp()
+    Listener(server, 80, on_accept=app.on_accept)
+
+    def open_transport():
+        sock = TCPSocket(client)
+        sock.connect(Endpoint("10.99.0.1", 80))
+        return sock
+
+    generator = HTTPLoadGenerator(net.sim, open_transport, size, concurrency)
+    generator.start()
+    net.run(until=duration)
+    return generator.requests_per_second()
+
+
+def _run_bonding(size: int, concurrency: int, duration: float, seed: int) -> float:
+    net = Network(seed=seed)
+    client = net.add_host("client")
+    server = net.add_host("server")
+    bond_interfaces(
+        net,
+        client,
+        "10.0.0.1",
+        server,
+        "10.99.0.1",
+        links=[
+            {"rate_bps": LINK_RATE, "delay": LINK_DELAY},
+            {"rate_bps": LINK_RATE, "delay": LINK_DELAY},
+        ],
+        mode="per-flow",
+    )
+    app = HTTPServerApp()
+    Listener(server, 80, on_accept=app.on_accept)
+
+    def open_transport():
+        sock = TCPSocket(client)
+        sock.connect(Endpoint("10.99.0.1", 80))
+        return sock
+
+    generator = HTTPLoadGenerator(net.sim, open_transport, size, concurrency)
+    generator.start()
+    net.run(until=duration)
+    return generator.requests_per_second()
+
+
+def _run_mptcp(size: int, concurrency: int, duration: float, seed: int) -> float:
+    net = Network(seed=seed)
+    client = net.add_host("client", "10.0.0.1", "10.1.0.1")
+    server = net.add_host("server", "10.99.0.1", "10.99.1.1")
+    net.connect(
+        client.interface("10.0.0.1"),
+        server.interface("10.99.0.1"),
+        rate_bps=LINK_RATE,
+        delay=LINK_DELAY,
+    )
+    net.connect(
+        client.interface("10.1.0.1"),
+        server.interface("10.99.1.1"),
+        rate_bps=LINK_RATE,
+        delay=LINK_DELAY,
+    )
+    config = MPTCPConfig(checksum=False)
+    app = HTTPServerApp()
+    mptcp_listen(server, 80, config=config, on_accept=app.on_accept)
+
+    def open_transport():
+        return mptcp_connect(client, Endpoint("10.99.0.1", 80), config=config)
+
+    generator = HTTPLoadGenerator(net.sim, open_transport, size, concurrency)
+    generator.start()
+    net.run(until=duration)
+    return generator.requests_per_second()
+
+
+def run_fig11(
+    sizes_kb=DEFAULT_SIZES_KB,
+    concurrency: int = 100,
+    duration: float = 10.0,
+    seed: int = 11,
+) -> ExperimentResult:
+    result = ExperimentResult("Fig. 11 — HTTP requests/s vs transfer size (100 clients)")
+    for kb in sizes_kb:
+        size = kb * 1024
+        result.add(
+            size_kb=kb,
+            tcp_rps=_run_tcp(size, concurrency, duration, seed),
+            bonding_rps=_run_bonding(size, concurrency, duration, seed),
+            mptcp_rps=_run_mptcp(size, concurrency, duration, seed),
+        )
+    return result
+
+
+def check_claims(result: ExperimentResult) -> dict[str, bool]:
+    rows = {row["size_kb"]: row for row in result.rows}
+    small = min(rows)
+    large = [kb for kb in rows if kb >= 100]
+    return {
+        # Small files: the extra subflow costs more than it helps.
+        "small_files_favor_tcp": rows[small]["mptcp_rps"] <= rows[small]["tcp_rps"],
+        # Large files: MPTCP roughly doubles single-link TCP.
+        "mptcp_doubles_tcp_large": all(
+            rows[kb]["mptcp_rps"] >= 1.6 * rows[kb]["tcp_rps"] for kb in large
+        ),
+        # Bonding does well at small sizes (it pays no setup cost).
+        "bonding_strong_small": rows[small]["bonding_rps"] >= rows[small]["mptcp_rps"],
+        # MPTCP at least matches bonding at the largest sizes.
+        "mptcp_matches_bonding_large": any(
+            rows[kb]["mptcp_rps"] >= 0.9 * rows[kb]["bonding_rps"] for kb in large
+        ),
+    }
+
+
+def main() -> None:
+    result = run_fig11()
+    print(result.format_table())
+    for claim, ok in check_claims(result).items():
+        print(f"  claim {claim}: {'PASS' if ok else 'FAIL'}")
+
+
+if __name__ == "__main__":
+    main()

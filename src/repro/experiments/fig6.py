@@ -1,0 +1,146 @@
+"""Fig. 6 — The receive-buffer optimizations across varied scenarios.
+
+* (a) WiFi + an extremely poor 3G path (50 kb/s, deep buffer): losses
+  on 3G strand the window for seconds; regular MPTCP collapses while
+  M1+M2 keep the WiFi path running — a *tenfold* goodput improvement
+  around 200 KB buffers.
+* (b) Asymmetric wired links ("inter-datacenter"): M1,2 fills both
+  links with a small buffer; regular MPTCP needs roughly an order of
+  magnitude more.  (Rates are scaled 10× down from the paper's
+  1 Gb/s + 100 Mb/s so runs complete in CI time; every buffer-to-BDP
+  ratio is preserved, so the crossover points scale linearly.)
+* (c) Three symmetric links: both variants perform equally at any
+  buffer size — when paths are identical, using the fastest one first
+  is already optimal, so the mechanisms never trigger.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    LOSSY_3G,
+    WIFI,
+    ExperimentResult,
+    PathSpec,
+    mptcp_variant_config,
+    run_mptcp_bulk,
+    run_tcp_bulk,
+)
+
+# Paper: 1 Gb/s + 100 Mb/s. Scaled 10x down (see module docstring).
+FAST_WIRED = PathSpec(rate_bps=100e6, rtt=0.010, buffer_seconds=0.02, name="wired-fast")
+# The slow link sits behind a deep switch buffer: its RTT inflates as
+# MPTCP fills it, which is what makes regular MPTCP underbuffered here.
+SLOW_WIRED = PathSpec(rate_bps=10e6, rtt=0.010, buffer_seconds=0.4, name="wired-slow")
+SYMMETRIC = [
+    PathSpec(rate_bps=100e6, rtt=0.010, buffer_seconds=0.02, name=f"sym{i}") for i in range(3)
+]
+
+PANEL_A_BUFFERS_KB = (50, 100, 200, 400, 800, 1500)
+PANEL_BC_BUFFERS_KB = (64, 128, 256, 512, 1024, 1600)
+
+
+def run_panel_a(buffers_kb=PANEL_A_BUFFERS_KB, duration: float = 30.0, seed: int = 6):
+    """WiFi + lossy 50 kb/s 3G."""
+    result = ExperimentResult("Fig. 6a — WiFi + very poor 3G (50 kb/s)")
+    paths = [WIFI, LOSSY_3G]
+    for kb in buffers_kb:
+        buffer_bytes = kb * 1024
+        tcp_wifi = run_tcp_bulk(WIFI, buffer_bytes, duration, seed=seed)
+        tcp_3g = run_tcp_bulk(LOSSY_3G, buffer_bytes, duration, seed=seed)
+        result.add(buffer_kb=kb, variant="tcp-wifi", goodput_mbps=tcp_wifi.goodput_bps / 1e6)
+        result.add(buffer_kb=kb, variant="tcp-3g", goodput_mbps=tcp_3g.goodput_bps / 1e6)
+        for variant in ("regular", "m12"):
+            config = mptcp_variant_config(variant, buffer_bytes)
+            outcome = run_mptcp_bulk(paths, config, duration, seed=seed)
+            result.add(
+                buffer_kb=kb,
+                variant=f"mptcp-{variant}",
+                goodput_mbps=outcome.goodput_bps / 1e6,
+            )
+    return result
+
+
+def run_panel_b(buffers_kb=PANEL_BC_BUFFERS_KB, duration: float = 15.0, seed: int = 6):
+    """Fast + slow wired links (scaled from 1 Gb/s + 100 Mb/s)."""
+    result = ExperimentResult("Fig. 6b — asymmetric wired links (scaled 100+10 Mb/s)")
+    paths = [FAST_WIRED, SLOW_WIRED]
+    for kb in buffers_kb:
+        buffer_bytes = kb * 1024
+        fast = run_tcp_bulk(FAST_WIRED, buffer_bytes, duration, seed=seed, warmup=1.0)
+        slow = run_tcp_bulk(SLOW_WIRED, buffer_bytes, duration, seed=seed, warmup=1.0)
+        result.add(buffer_kb=kb, variant="tcp-fast", goodput_mbps=fast.goodput_bps / 1e6)
+        result.add(buffer_kb=kb, variant="tcp-slow", goodput_mbps=slow.goodput_bps / 1e6)
+        for variant in ("regular", "m12"):
+            config = mptcp_variant_config(variant, buffer_bytes)
+            outcome = run_mptcp_bulk(paths, config, duration, seed=seed, warmup=1.0)
+            result.add(
+                buffer_kb=kb,
+                variant=f"mptcp-{variant}",
+                goodput_mbps=outcome.goodput_bps / 1e6,
+            )
+    return result
+
+
+def run_panel_c(buffers_kb=PANEL_BC_BUFFERS_KB, duration: float = 15.0, seed: int = 6):
+    """Three identical links: the mechanisms should not matter."""
+    result = ExperimentResult("Fig. 6c — three symmetric links (scaled 3x100 Mb/s)")
+    for kb in buffers_kb:
+        buffer_bytes = kb * 1024
+        tcp = run_tcp_bulk(SYMMETRIC[0], buffer_bytes, duration, seed=seed, warmup=1.0)
+        result.add(buffer_kb=kb, variant="tcp-one-link", goodput_mbps=tcp.goodput_bps / 1e6)
+        for variant in ("regular", "m12"):
+            config = mptcp_variant_config(variant, buffer_bytes)
+            outcome = run_mptcp_bulk(SYMMETRIC, config, duration, seed=seed, warmup=1.0)
+            result.add(
+                buffer_kb=kb,
+                variant=f"mptcp-{variant}",
+                goodput_mbps=outcome.goodput_bps / 1e6,
+            )
+    return result
+
+
+def check_claims(panel_a, panel_b, panel_c) -> dict[str, bool]:
+    def curve(result, variant):
+        return dict(result.series("buffer_kb", "goodput_mbps", variant=variant))
+
+    a_regular = curve(panel_a, "mptcp-regular")
+    a_m12 = curve(panel_a, "mptcp-m12")
+    small = [kb for kb in a_regular if kb <= 400]
+    b_regular = curve(panel_b, "mptcp-regular")
+    b_m12 = curve(panel_b, "mptcp-m12")
+    b_fast = curve(panel_b, "tcp-fast")
+    c_regular = curve(panel_c, "mptcp-regular")
+    c_m12 = curve(panel_c, "mptcp-m12")
+    small_b = [kb for kb in b_m12 if kb <= 512]
+    return {
+        # (a) Around small buffers M1,2 improves goodput many-fold (the
+        # paper reports up to tenfold at its exact operating point; we
+        # require at least 2.5x somewhere in the small-buffer range and
+        # record the measured factor in EXPERIMENTS.md).
+        "panel_a_big_gain_small_buffers": any(
+            a_m12[kb] > 2.5 * max(a_regular[kb], 1e-9) for kb in small
+        ),
+        # (b) somewhere in the sweep regular MPTCP collapses far below
+        # TCP-over-the-fast-link while M1,2 stays robust throughout.
+        "panel_b_regular_collapses": any(
+            b_regular[kb] < 0.6 * b_fast[kb] for kb in b_regular
+        ),
+        "panel_b_m12_robust": all(b_m12[kb] >= 0.8 * b_fast[kb] for kb in b_m12),
+        # (c) With symmetric links, the two variants stay within 20%.
+        "panel_c_equal": all(
+            abs(c_m12[kb] - c_regular[kb]) <= 0.25 * max(c_m12[kb], c_regular[kb], 1.0)
+            for kb in c_m12
+        ),
+    }
+
+
+def main() -> None:
+    a, b, c = run_panel_a(), run_panel_b(), run_panel_c()
+    for panel in (a, b, c):
+        print(panel.format_table())
+    for claim, ok in check_claims(a, b, c).items():
+        print(f"  claim {claim}: {'PASS' if ok else 'FAIL'}")
+
+
+if __name__ == "__main__":
+    main()

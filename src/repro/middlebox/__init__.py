@@ -1,0 +1,54 @@
+"""Middlebox models (§4.1).
+
+The paper validates its design against Click elements modelling the
+middlebox behaviours its measurement study [9] found in the wild; this
+package rebuilds each as a :class:`~repro.net.path.PathElement`:
+
+===========================  ====================================================
+Element                      Behaviour modelled
+===========================  ====================================================
+:class:`NAT`                 address/port rewriting (why five-tuples can't
+                             identify connections, §3.2)
+:class:`SequenceRewriter`    ISN randomization firewalls — 10% of paths
+                             (18% on port 80), §3.3
+:class:`OptionStripper`      proxies/firewalls removing unknown options from
+                             SYNs (6%/14%) or all segments
+:class:`SegmentSplitter`     TSO-style resegmentation (copies options to every
+                             split, §3.3.4)
+:class:`SegmentCoalescer`    traffic normalizers merging segments (only one
+                             DSS mapping survives, §3.3.5)
+:class:`ProactiveAcker`      proxies acking data themselves
+:class:`AckCoercer`          the 26%/33% of paths that drop or "correct" ACKs
+                             for data the middlebox has not seen
+:class:`PayloadModifier`     application-level gateways rewriting content,
+                             optionally changing its length with seq/ack fixup
+                             (what the DSS checksum exists to catch, §3.3.6)
+:class:`HoleBlocker`         the 5%/11% of paths that stop passing data after
+                             a sequence hole
+:class:`RetransmissionNormalizer`  re-asserts original content when a
+                             "retransmission" differs (footnote 5)
+===========================  ====================================================
+"""
+
+from repro.middlebox.nat import NAT
+from repro.middlebox.rewriter import SequenceRewriter
+from repro.middlebox.stripper import OptionStripper
+from repro.middlebox.segmenter import SegmentCoalescer, SegmentSplitter
+from repro.middlebox.proxy import AckCoercer, HoleBlocker, ProactiveAcker
+from repro.middlebox.alg import PayloadModifier, RetransmissionNormalizer
+from repro.middlebox.jitter import Duplicator, Jitter
+
+__all__ = [
+    "Jitter",
+    "Duplicator",
+    "NAT",
+    "SequenceRewriter",
+    "OptionStripper",
+    "SegmentSplitter",
+    "SegmentCoalescer",
+    "ProactiveAcker",
+    "AckCoercer",
+    "HoleBlocker",
+    "PayloadModifier",
+    "RetransmissionNormalizer",
+]

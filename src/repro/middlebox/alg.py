@@ -1,0 +1,140 @@
+"""Content-modifying middleboxes (§3.3.6).
+
+``PayloadModifier`` models an application-level gateway (the FTP ALG of
+RFC 2663): it substitutes a byte pattern in the forward payload stream.
+With a different-length replacement it also fixes up all subsequent
+sequence numbers (and reverse ACKs/SACKs) so the *endpoints* never see
+an inconsistency — exactly the behaviour that silently corrupts every
+data-to-subflow mapping scheme and that only the DSS checksum detects.
+
+``RetransmissionNormalizer`` models the traffic normalizer of footnote
+5: it remembers payload bytes per sequence range and re-asserts the
+original content if a "retransmission" arrives with different data —
+defeating any scheme that encodes control information by varying
+retransmitted payloads.
+"""
+
+from __future__ import annotations
+
+from repro.net.options import SACKOption
+from repro.net.packet import SEQ_MOD, Endpoint, Segment
+from repro.net.path import FORWARD, PathElement
+from repro.tcp.seq import seq_diff
+
+
+class PayloadModifier(PathElement):
+    """Rewrites ``pattern`` → ``replacement`` in the forward stream.
+
+    The match is applied per segment (the model assumes the pattern
+    does not straddle a segment boundary, as FTP control commands do
+    not).  When lengths differ, a cumulative per-flow delta adjusts the
+    sequence numbers of everything after the edit, and reverse ACKs are
+    shifted back, keeping both endpoints consistent.
+    """
+
+    def __init__(
+        self,
+        pattern: bytes,
+        replacement: bytes,
+        max_rewrites: int | None = None,
+        name: str = "ALG",
+    ):
+        super().__init__(name)
+        if not pattern:
+            raise ValueError("pattern must be non-empty")
+        self.pattern = pattern
+        self.replacement = replacement
+        self.max_rewrites = max_rewrites
+        self.rewrites = 0
+        # Per flow: list of (first_unshifted_seq, cumulative_delta).
+        self._deltas: dict[tuple[Endpoint, Endpoint], list[tuple[int, int]]] = {}
+        self._seen: dict[tuple[Endpoint, Endpoint], int] = {}
+
+    def _flow_delta(self, key, seq: int) -> int:
+        """Cumulative delta applying to a segment starting at seq."""
+        total = 0
+        for boundary, delta in self._deltas.get(key, []):
+            if seq_diff(seq, boundary) >= 0:
+                total += delta
+        return total
+
+    def process(self, segment: Segment, direction: int) -> list[tuple[Segment, int]]:
+        if direction == FORWARD:
+            key = (segment.src, segment.dst)
+            delta = self._flow_delta(key, segment.seq)
+            original_end = segment.end_seq
+            if segment.payload and (
+                self.max_rewrites is None or self.rewrites < self.max_rewrites
+            ):
+                index = segment.payload.find(self.pattern)
+                # Only rewrite fresh data (not retransmissions) so the
+                # delta ledger stays consistent.
+                seen = self._seen.get(key)
+                fresh = seen is None or seq_diff(original_end, seen) > 0
+                if index >= 0 and fresh:
+                    segment.payload = (
+                        segment.payload[:index]
+                        + self.replacement
+                        + segment.payload[index + len(self.pattern) :]
+                    )
+                    length_change = len(self.replacement) - len(self.pattern)
+                    if length_change != 0:
+                        boundary = (segment.seq + index + len(self.pattern)) % SEQ_MOD
+                        self._deltas.setdefault(key, []).append((boundary, length_change))
+                    self.rewrites += 1
+            seen = self._seen.get(key)
+            if seen is None or seq_diff(original_end, seen) > 0:
+                self._seen[key] = original_end
+            if delta:
+                segment.seq = (segment.seq + delta) % SEQ_MOD
+            return [(segment, direction)]
+        # Reverse: shift ACKs back so the sender's view stays coherent.
+        key = (segment.dst, segment.src)
+        if segment.has_ack and key in self._deltas:
+            # Find the delta that applied at the *translated* ack point:
+            # invert by scanning (the ledger is short).
+            total = 0
+            for boundary, delta in self._deltas[key]:
+                if seq_diff(segment.ack, (boundary + total + delta) % SEQ_MOD) >= 0:
+                    total += delta
+            if total:
+                segment.ack = (segment.ack - total) % SEQ_MOD
+                sack = segment.find_option(SACKOption)
+                if sack is not None:
+                    fixed = SACKOption(
+                        blocks=tuple(
+                            ((l - total) % SEQ_MOD, (r - total) % SEQ_MOD)
+                            for l, r in sack.blocks
+                        )
+                    )
+                    segment.options = [
+                        fixed if option is sack else option for option in segment.options
+                    ]
+        return [(segment, direction)]
+
+
+class RetransmissionNormalizer(PathElement):
+    """Caches forward payload by sequence range; a retransmission with
+    different content is overwritten with the original bytes."""
+
+    def __init__(self, cache_limit: int = 4 * 1024 * 1024, name: str = "Normalizer"):
+        super().__init__(name)
+        self.cache_limit = cache_limit
+        self._cache: dict[tuple[Endpoint, Endpoint], dict[int, bytes]] = {}
+        self._cached_bytes = 0
+        self.normalized = 0
+
+    def process(self, segment: Segment, direction: int) -> list[tuple[Segment, int]]:
+        if direction != FORWARD or not segment.payload:
+            return [(segment, direction)]
+        key = (segment.src, segment.dst)
+        flow_cache = self._cache.setdefault(key, {})
+        cached = flow_cache.get(segment.seq)
+        if cached is not None and len(cached) == len(segment.payload):
+            if cached != segment.payload:
+                segment.payload = cached  # re-assert original content
+                self.normalized += 1
+        elif self._cached_bytes + len(segment.payload) <= self.cache_limit:
+            flow_cache[segment.seq] = segment.payload
+            self._cached_bytes += len(segment.payload)
+        return [(segment, direction)]

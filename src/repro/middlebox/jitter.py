@@ -1,0 +1,65 @@
+"""Reordering / jitter middleboxes.
+
+Not from the paper's §4.1 list, but essential adversaries for a
+transport: load-balanced cores and parallel links inside carriers
+reorder packets.  TCP must absorb mild reordering without collapsing
+(dupack threshold, SACK) and MPTCP's per-subflow in-order assumption
+(§4.3's Shortcuts rely on it statistically, not for correctness) must
+survive it.
+"""
+
+from __future__ import annotations
+
+from repro.net.packet import Segment
+from repro.net.path import PathElement
+from repro.sim.rng import SeededRNG
+
+
+class Jitter(PathElement):
+    """Delays each segment by a random extra amount, reordering any two
+    segments whose jitter difference exceeds their spacing."""
+
+    def __init__(
+        self,
+        max_jitter: float = 0.002,
+        probability: float = 1.0,
+        rng: SeededRNG | None = None,
+        name: str = "Jitter",
+    ):
+        super().__init__(name)
+        if max_jitter < 0:
+            raise ValueError("max_jitter must be non-negative")
+        self.max_jitter = max_jitter
+        self.probability = probability
+        self.rng = rng or SeededRNG(0, name)
+        self.delayed = 0
+
+    def process(self, segment: Segment, direction: int) -> list[tuple[Segment, int]]:
+        if self.max_jitter == 0 or not self.rng.chance(self.probability):
+            return [(segment, direction)]
+        self.delayed += 1
+        delay = self.rng.uniform(0, self.max_jitter)
+        self.sim.schedule(delay, self.inject, segment, direction)
+        return []
+
+
+class Duplicator(PathElement):
+    """Occasionally duplicates a segment (broken retransmitting gear,
+    L2 loops).  Receivers must treat duplicates as no-ops."""
+
+    def __init__(
+        self,
+        probability: float = 0.01,
+        rng: SeededRNG | None = None,
+        name: str = "Duplicator",
+    ):
+        super().__init__(name)
+        self.probability = probability
+        self.rng = rng or SeededRNG(0, name)
+        self.duplicated = 0
+
+    def process(self, segment: Segment, direction: int) -> list[tuple[Segment, int]]:
+        if self.rng.chance(self.probability):
+            self.duplicated += 1
+            return [(segment, direction), (segment.copy(), direction)]
+        return [(segment, direction)]

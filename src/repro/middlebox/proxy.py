@@ -1,0 +1,127 @@
+"""Proxy-like middleboxes: pro-active ACKing, ACK coercion, hole
+blocking (§3, §3.3).
+
+These model the study's most consequential findings for MPTCP:
+
+* 26% of paths (33% on port 80) "do not correctly pass on an ACK for
+  data the middlebox has not observed — either the ACK is dropped or it
+  is corrected".  A strawman MPTCP that striped one sequence space over
+  two paths would send exactly such ACKs on the return path; these
+  elements break it, and tests demonstrate that (and that real MPTCP,
+  whose subflow ACKs only ever cover subflow-observed data, sails
+  through).
+* 5% of paths (11% on port 80) stop passing data after a sequence hole
+  — fatal for single-sequence-space striping, harmless for per-subflow
+  spaces.
+"""
+
+from __future__ import annotations
+
+from repro.net.packet import ACK, SEQ_MOD, Endpoint, Segment
+from repro.net.path import FORWARD, REVERSE, PathElement
+from repro.tcp.seq import seq_diff
+
+
+class ProactiveAcker(PathElement):
+    """A proxy that ACKs data toward the sender as soon as it sees it
+    (split-connection accelerators do this).  The injected ACK mimics
+    the receiver's endpoint."""
+
+    def __init__(self, name: str = "ProactiveAcker"):
+        super().__init__(name)
+        self._expected: dict[tuple[Endpoint, Endpoint], int] = {}
+        self.acks_injected = 0
+
+    def process(self, segment: Segment, direction: int) -> list[tuple[Segment, int]]:
+        if direction == FORWARD and segment.payload and not segment.syn:
+            key = (segment.src, segment.dst)
+            end = (segment.seq + len(segment.payload)) % SEQ_MOD
+            previous = self._expected.get(key)
+            if previous is None or seq_diff(end, previous) > 0:
+                self._expected[key] = end
+            ack = Segment(
+                src=segment.dst,
+                dst=segment.src,
+                seq=segment.ack,
+                ack=self._expected[key],
+                flags=ACK,
+                window=segment.window or 0xFFFF,
+            )
+            self.acks_injected += 1
+            return [(segment, direction), (ack, REVERSE)]
+        return [(segment, direction)]
+
+
+class AckCoercer(PathElement):
+    """Drops or "corrects" ACKs covering data the middlebox never saw.
+
+    ``mode='drop'`` discards such ACKs; ``mode='correct'`` rewrites the
+    ACK field down to the highest byte observed in the forward
+    direction.
+    """
+
+    def __init__(self, mode: str = "drop", name: str = "AckCoercer"):
+        super().__init__(name)
+        if mode not in ("drop", "correct"):
+            raise ValueError("mode must be 'drop' or 'correct'")
+        self.mode = mode
+        # Stateful-firewall view: the *contiguous* in-order stream seen.
+        # An ACK beyond this covers bytes the box never observed in
+        # order — which is what it objects to.
+        self._contiguous: dict[tuple[Endpoint, Endpoint], int] = {}
+        self.coerced = 0
+
+    def process(self, segment: Segment, direction: int) -> list[tuple[Segment, int]]:
+        if direction == FORWARD:
+            key = (segment.src, segment.dst)
+            if segment.syn:
+                self._contiguous[key] = segment.end_seq
+            else:
+                expected = self._contiguous.get(key)
+                if expected is None:
+                    self._contiguous[key] = segment.end_seq
+                elif seq_diff(segment.seq, expected) <= 0 and seq_diff(
+                    segment.end_seq, expected
+                ) > 0:
+                    self._contiguous[key] = segment.end_seq
+                # A segment past `expected` leaves a hole: coverage
+                # stalls there until the hole is filled in order.
+            return [(segment, direction)]
+        key = (segment.dst, segment.src)
+        seen = self._contiguous.get(key)
+        if segment.has_ack and seen is not None and seq_diff(segment.ack, seen) > 0:
+            self.coerced += 1
+            if self.mode == "drop":
+                return []
+            segment.ack = seen
+        return [(segment, direction)]
+
+
+class HoleBlocker(PathElement):
+    """Stops passing data after a sequence hole: out-of-order forward
+    segments are silently dropped until the hole is filled in order."""
+
+    def __init__(self, name: str = "HoleBlocker"):
+        super().__init__(name)
+        self._expected: dict[tuple[Endpoint, Endpoint], int] = {}
+        self.blocked = 0
+
+    def process(self, segment: Segment, direction: int) -> list[tuple[Segment, int]]:
+        if direction != FORWARD or segment.rst:
+            return [(segment, direction)]
+        key = (segment.src, segment.dst)
+        if segment.syn:
+            self._expected[key] = segment.end_seq
+            return [(segment, direction)]
+        expected = self._expected.get(key)
+        if expected is None:
+            self._expected[key] = segment.end_seq
+            return [(segment, direction)]
+        if segment.seq_space == 0:
+            return [(segment, direction)]
+        if seq_diff(segment.seq, expected) > 0:
+            self.blocked += 1
+            return []
+        if seq_diff(segment.end_seq, expected) > 0:
+            self._expected[key] = segment.end_seq
+        return [(segment, direction)]

@@ -1,0 +1,64 @@
+"""Multipath TCP — the paper's contribution.
+
+The package implements the complete protocol of Ford et al. [5] as the
+paper describes designing it:
+
+* §3.1  MP_CAPABLE negotiation with fallback when middleboxes strip
+  options from the SYN, the SYN/ACK, or the first data segment.
+* §3.2  MP_JOIN subflow establishment authenticated with HMACs over the
+  connection keys, ADD_ADDR / REMOVE_ADDR address signalling.
+* §3.3  Per-subflow sequence spaces with data-sequence mappings encoded
+  as *relative* subflow offsets (robust to ISN rewriting and TSO
+  splitting), explicit DATA_ACKs in TCP options (never the payload),
+  connection-level receive window, DSS checksums with the
+  reset-subflow / fall-back-to-TCP ladder for content-modifying
+  middleboxes.
+* §3.4  Subflow-scoped FIN/RST semantics and the explicit DATA_FIN.
+* §4.2  Receive-buffer mechanisms: M1 opportunistic retransmission,
+  M2 penalization of slow subflows, M3 buffer autotuning, M4 cwnd
+  capping.
+* §4.3  Constant-time receive: Regular / Tree / Shortcuts /
+  AllShortcuts out-of-order queue algorithms with operation counting.
+
+Use :func:`repro.mptcp.api.connect` / :func:`repro.mptcp.api.listen`.
+"""
+
+from repro.mptcp.options import (
+    AddAddr,
+    DSS,
+    FastClose,
+    MPCapable,
+    MPFail,
+    MPJoin,
+    MPPrio,
+    MPTCPOption,
+    RemoveAddr,
+)
+from repro.mptcp.keys import generate_key, idsn_from_key, join_hmac, token_from_key
+from repro.mptcp.checksum import dss_checksum, ones_complement_sum
+from repro.mptcp.connection import MPTCPConfig, MPTCPConnection
+from repro.mptcp.subflow import Subflow
+from repro.mptcp.api import connect, listen
+
+__all__ = [
+    "MPTCPOption",
+    "MPCapable",
+    "MPJoin",
+    "DSS",
+    "AddAddr",
+    "RemoveAddr",
+    "MPPrio",
+    "MPFail",
+    "FastClose",
+    "generate_key",
+    "token_from_key",
+    "idsn_from_key",
+    "join_hmac",
+    "dss_checksum",
+    "ones_complement_sum",
+    "MPTCPConfig",
+    "MPTCPConnection",
+    "Subflow",
+    "connect",
+    "listen",
+]

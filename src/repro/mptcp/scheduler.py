@@ -1,0 +1,337 @@
+"""The MPTCP packet scheduler: allocation, batching, reinjection, and
+the receive-buffer mechanisms M1/M2 (§4.2).
+
+Allocation model
+----------------
+Subflows *pull*: whenever a subflow's congestion window has room (its
+``_try_send`` loop), it asks the scheduler for up to one MSS of payload.
+The scheduler serves, in priority order:
+
+1. **Reinjections** — data queued for retransmission on a different
+   subflow (a failed subflow's unacknowledged data, the data-level RTO,
+   or M1 opportunistic retransmissions).
+2. **The subflow's current batch** — new data is reserved in
+   contiguous-DSN batches sized by the subflow's congestion window, so
+   each subflow's arrivals are in-order at the data level, which is
+   precisely the locality the receiver's Shortcuts algorithm (§4.3)
+   exploits.
+3. **A new batch** — if connection-level flow control (the shared
+   receive window, §3.3.1) permits.
+4. When blocked by the receive window with capacity to spare:
+   **M1 opportunistic retransmission** — resend data from the window's
+   trailing edge that a (markedly slower) *other* subflow originally
+   carried.  A per-subflow cursor walks forward through that foreign
+   backlog so consecutive opportunities pipeline, each individual call
+   still touching only one segment (iterating the whole send queue in
+   software-interrupt context is what the Linux implementation
+   avoids); and **M2 penalization** — halve the cwnd and ssthresh of
+   the subflow holding the trailing edge, at most once per its RTT.
+
+The connection decides *which* subflow pulls first by kicking them in
+increasing smoothed-RTT order ("send on the lowest-delay link with
+congestion-window space").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mptcp.connection import MPTCPConnection
+    from repro.mptcp.subflow import Subflow
+
+
+@dataclass
+class TxMapping:
+    """A sent mapping: which subflow carried which data range."""
+
+    start: int  # absolute data offset
+    end: int
+    subflow: "Subflow"
+    sent_at: float
+    reinjection: bool = False
+
+
+@dataclass
+class Batch:
+    """A contiguous data range reserved for one subflow."""
+
+    cursor: int
+    end: int
+
+    @property
+    def remaining(self) -> int:
+        return self.end - self.cursor
+
+
+@dataclass
+class SchedulerStats:
+    allocations: int = 0
+    bytes_allocated: int = 0
+    reinjections: int = 0
+    reinjected_bytes: int = 0
+    opportunistic_retransmissions: int = 0
+    penalizations: int = 0
+    rwnd_blocked_events: int = 0
+
+
+class Scheduler:
+    """Owned by an :class:`~repro.mptcp.connection.MPTCPConnection`."""
+
+    def __init__(self, connection: "MPTCPConnection"):
+        self.connection = connection
+        self.inflight: list[TxMapping] = []
+        self.reinject_queue: list[list[int]] = []  # mutable [start, end)
+        self.batches: dict[int, Batch] = {}  # subflow_id -> Batch
+        self.stats = SchedulerStats()
+
+    # ------------------------------------------------------------------
+    def allocate(self, subflow: "Subflow", max_bytes: int) -> Optional[tuple[bytes, list]]:
+        """Produce (payload, sticky_options) for one segment, or None."""
+        conn = self.connection
+
+        if subflow.backup and any(
+            not s.backup for s in conn.alive_subflows()
+        ):
+            return None  # backups carry data only when nothing else can
+
+        chunk = self._allocate_reinjection(subflow, max_bytes)
+        if chunk is None:
+            chunk = self._allocate_batch(subflow, max_bytes)
+        if chunk is None and (conn.config.enable_m1 or conn.config.enable_m2):
+            if self._rwnd_blocked():
+                self.stats.rwnd_blocked_events += 1
+                if conn.config.enable_m2:
+                    self._penalize_culprit(subflow)
+                if conn.config.enable_m1:
+                    chunk = self._opportunistic_retransmission(subflow, max_bytes)
+        if chunk is None:
+            return None
+
+        start, payload, reinjection = chunk
+        self.stats.allocations += 1
+        self.stats.bytes_allocated += len(payload)
+        mapping = TxMapping(
+            start, start + len(payload), subflow, conn.sim.now, reinjection=reinjection
+        )
+        self.inflight.append(mapping)
+        data_fin = False
+        if (
+            conn.data_fin_offset is not None
+            and mapping.end == conn.data_fin_offset
+        ):
+            # Ride the DATA_FIN on the final mapping (§3.4).
+            data_fin = True
+            conn.note_data_fin_sent()
+        option = conn.build_dss(subflow, start, payload, data_fin=data_fin)
+        return payload, [option]
+
+    # ------------------------------------------------------------------
+    # Allocation sources
+    # ------------------------------------------------------------------
+    def _allocate_reinjection(
+        self, subflow: "Subflow", max_bytes: int
+    ) -> Optional[tuple[int, bytes, bool]]:
+        conn = self.connection
+        while self.reinject_queue:
+            entry = self.reinject_queue[0]
+            entry[0] = max(entry[0], conn.data_una)
+            if entry[0] >= entry[1]:
+                self.reinject_queue.pop(0)
+                continue
+            take = min(max_bytes, entry[1] - entry[0])
+            start = entry[0]
+            payload = conn.send_stream.peek(start, take)
+            entry[0] += take
+            if entry[0] >= entry[1]:
+                self.reinject_queue.pop(0)
+            self.stats.reinjections += 1
+            self.stats.reinjected_bytes += take
+            return (start, payload, True)
+        return None
+
+    def _allocate_batch(
+        self, subflow: "Subflow", max_bytes: int
+    ) -> Optional[tuple[int, bytes, bool]]:
+        conn = self.connection
+        batch = self.batches.get(subflow.subflow_id)
+        if batch is not None:
+            # Data-level recovery may have reinjected (and the receiver
+            # acked) parts of a reserved-but-unsent batch: skip them.
+            batch.cursor = max(batch.cursor, conn.data_una)
+        if batch is None or batch.remaining <= 0:
+            batch = self._reserve_batch(subflow, max_bytes)
+            if batch is None:
+                return None
+        take = min(max_bytes, batch.remaining)
+        start = batch.cursor
+        payload = conn.send_stream.peek(start, take)
+        batch.cursor += take
+        return (start, payload, False)
+
+    def _reserve_batch(self, subflow: "Subflow", max_bytes: int) -> Optional[Batch]:
+        """Reserve a contiguous-DSN range sized by the subflow's usable
+        congestion window (§4.3's batching)."""
+        conn = self.connection
+        limit = min(conn.send_stream.tail, conn.rwnd_limit())
+        if conn.data_nxt >= limit:
+            return None
+        size = max(max_bytes, subflow.usable_cwnd_space())
+        size = min(
+            size,
+            limit - conn.data_nxt,
+            max(1, conn.config.batch_segments) * conn.config.tcp.mss,
+        )
+        batch = Batch(cursor=conn.data_nxt, end=conn.data_nxt + size)
+        conn.data_nxt += size
+        self.batches[subflow.subflow_id] = batch
+        return batch
+
+    # ------------------------------------------------------------------
+    # Receive-window-limited handling: mechanisms M1 and M2
+    # ------------------------------------------------------------------
+    def _rwnd_blocked(self) -> bool:
+        """Receive-window limited: the allocation cursor has hit the
+        connection-level window edge while data is outstanding.  (Note:
+        no "unsent app data" clause — with snd_buf == rcv_buf the app is
+        usually blocked too, and the stall is just as real.)"""
+        conn = self.connection
+        return conn.data_nxt >= conn.rwnd_limit() and conn.data_una < conn.data_nxt
+
+    def _trailing_edge_mapping(self) -> Optional[TxMapping]:
+        """The in-flight mapping holding up the receive window: the one
+        covering ``data_una``."""
+        conn = self.connection
+        for mapping in self.inflight:
+            if mapping.start <= conn.data_una < mapping.end:
+                return mapping
+        return None
+
+    def _opportunistic_retransmission(
+        self, subflow: "Subflow", max_bytes: int
+    ) -> Optional[tuple[int, bytes, bool]]:
+        """M1: resend un-DATA-ACKed data, originally sent on *another*
+        subflow, starting from the trailing edge of the window.
+
+        Successive opportunities walk forward through the foreign
+        backlog (tracked by a per-subflow cursor) so reinjections
+        pipeline within this subflow's congestion window — this is what
+        lets the fast path run at its single-path TCP rate while
+        underbuffered, at the cost of duplicate transmissions (the
+        goodput/throughput gap of Fig. 4(b))."""
+        conn = self.connection
+        edge = self._trailing_edge_mapping()
+        if edge is None or edge.subflow is subflow:
+            return None
+        if edge.subflow.srtt <= 1.5 * subflow.srtt:
+            # The window edge is held by a path no slower than this one:
+            # reinjecting would only duplicate bytes already due to
+            # arrive (the symmetric-links case of Fig. 6c, where the
+            # mechanisms must be no-ops).
+            return None
+        now = conn.sim.now
+        if subflow.last_opportunistic_edge != conn.data_una:
+            # The edge moved: normal progress.  Keep walking forward —
+            # resetting here would re-send the whole foreign backlog on
+            # every chunk advance.
+            subflow.last_opportunistic_edge = conn.data_una
+            subflow.last_opportunistic_time = now
+        elif now - subflow.last_opportunistic_time > 1.5 * max(subflow.srtt, 0.01):
+            # The SAME edge has survived our earlier reinjection for
+            # over a round trip: that copy probably died — retry from
+            # the edge.
+            subflow.last_opportunistic_offset = conn.data_una
+            subflow.last_opportunistic_time = now
+        cursor = max(subflow.last_opportunistic_offset, conn.data_una)
+        mapping = None
+        while True:
+            mapping = next(
+                (m for m in self.inflight if m.start <= cursor < m.end), None
+            )
+            if mapping is None:
+                return None
+            if mapping.subflow is subflow:
+                cursor = mapping.end  # skip data we carried ourselves
+                continue
+            break
+        take = min(max_bytes, mapping.end - cursor)
+        payload = conn.send_stream.peek(cursor, take)
+        subflow.last_opportunistic_offset = cursor + take
+        self.stats.opportunistic_retransmissions += 1
+        conn.stats.opportunistic_retransmissions += 1
+        return (cursor, payload, True)
+
+    def _penalize_culprit(self, requester: "Subflow") -> None:
+        """M2: halve the cwnd of the subflow holding the trailing edge,
+        at most once per that subflow's smoothed RTT."""
+        conn = self.connection
+        mapping = self._trailing_edge_mapping()
+        if mapping is None:
+            return
+        culprit = mapping.subflow
+        if culprit is requester:
+            return
+        if culprit.srtt <= 1.5 * requester.srtt:
+            # Penalizing aims to *reduce the RTT* of a markedly slower
+            # subflow holding the window (§4.2 M2).  Near-equal paths
+            # (Fig. 6c) trade the edge constantly from queueing jitter;
+            # throttling them would only hurt.
+            return
+        now = conn.sim.now
+        if now - culprit.last_penalty_at < culprit.srtt:
+            return
+        culprit.last_penalty_at = now
+        culprit.cc.halve()
+        self.stats.penalizations += 1
+        conn.stats.penalizations += 1
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def on_data_ack(self, data_una: int) -> None:
+        """Prune mappings wholly covered by the new cumulative DATA_ACK.
+        (The list is not sorted — reinjections interleave — so filter.)"""
+        if any(m.end <= data_una for m in self.inflight):
+            self.inflight = [m for m in self.inflight if m.end > data_una]
+
+    def on_subflow_failed(self, subflow: "Subflow") -> None:
+        """Queue everything the dead subflow still owed for reinjection."""
+        conn = self.connection
+        ranges: list[list[int]] = []
+        for mapping in self.inflight:
+            if mapping.subflow is subflow and mapping.end > conn.data_una:
+                ranges.append([max(mapping.start, conn.data_una), mapping.end])
+        batch = self.batches.pop(subflow.subflow_id, None)
+        if batch is not None and batch.remaining > 0:
+            ranges.append([batch.cursor, batch.end])
+        self.inflight = [m for m in self.inflight if m.subflow is not subflow]
+        for entry in sorted(ranges):
+            self._queue_reinjection(entry[0], entry[1])
+
+    def reinject_head(self, window: Optional[int] = None) -> None:
+        """Data-level RTO: requeue data from the trailing edge.
+
+        The sender has only the cumulative DATA_ACK to locate losses
+        (there is no data-level SACK), so recovery is go-back-N over a
+        bounded window starting at ``data_una`` (§3.3.5).
+        """
+        conn = self.connection
+        mapping = self._trailing_edge_mapping()
+        end = mapping.end if mapping is not None else min(
+            conn.data_una + conn.config.tcp.mss, conn.data_nxt
+        )
+        if window is not None:
+            end = max(end, min(conn.data_una + window, conn.data_nxt))
+        if end > conn.data_una:
+            self._queue_reinjection(conn.data_una, end)
+
+    def _queue_reinjection(self, start: int, end: int) -> None:
+        for entry in self.reinject_queue:
+            if entry[0] <= start and end <= entry[1]:
+                return  # already queued
+        self.reinject_queue.append([start, end])
+
+    def tx_inflight_bytes(self) -> int:
+        return sum(m.end - m.start for m in self.inflight)

@@ -1,0 +1,180 @@
+"""Hosts and interfaces.
+
+A :class:`Host` owns one interface per attached path (mirroring the
+multi-homed endpoints the paper targets: a phone with WiFi + 3G, a server
+with two NICs).  It routes outgoing segments by *source address* — an
+MPTCP subflow bound to the 3G address leaves via the 3G interface — and
+demultiplexes incoming segments to bound sockets the way a kernel does:
+exact four-tuple first, then listening sockets, then a RST.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional, Protocol
+
+from repro.net.packet import ACK, RST, Endpoint, Segment
+from repro.net.path import FORWARD, Path
+from repro.sim import Simulator
+from repro.sim.rng import SeededRNG
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.network import Network
+
+
+class SegmentSink(Protocol):
+    """Anything that can receive segments (TCP sockets, listeners)."""
+
+    def segment_arrives(self, segment: Segment) -> None: ...
+
+
+class Interface:
+    """One attachment point: an IP address plus routes out of it."""
+
+    def __init__(self, host: "Host", ip: str):
+        self.host = host
+        self.ip = ip
+        # dst ip -> (path, direction); "*" is the default route.
+        self.routes: dict[str, tuple[Path, int]] = {}
+
+    def add_route(self, dst_ip: str, path: Path, direction: int) -> None:
+        self.routes[dst_ip] = (path, direction)
+
+    def route_for(self, dst_ip: str) -> Optional[tuple[Path, int]]:
+        route = self.routes.get(dst_ip)
+        if route is None:
+            route = self.routes.get("*")
+        return route
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Interface {self.ip} of {self.host.name}>"
+
+
+class Host:
+    """An endpoint node with sockets, interfaces and a routing function."""
+
+    EPHEMERAL_BASE = 32768
+
+    def __init__(self, sim: Simulator, name: str, rng: Optional[SeededRNG] = None):
+        self.sim = sim
+        self.name = name
+        self.rng = rng or SeededRNG(0, name)
+        self.interfaces: list[Interface] = []
+        self.network: Optional["Network"] = None
+        self._connections: dict[tuple[Endpoint, Endpoint], SegmentSink] = {}
+        self._listeners: dict[int, SegmentSink] = {}
+        self._next_port = self.EPHEMERAL_BASE
+        self.segments_sent = 0
+        self.segments_received = 0
+        # Diagnostics hooks (tests attach here).
+        self.on_send: list[Callable[[Segment], None]] = []
+        self.on_receive: list[Callable[[Segment], None]] = []
+
+    # ------------------------------------------------------------------
+    # Interfaces / addressing
+    # ------------------------------------------------------------------
+    def add_interface(self, ip: str) -> Interface:
+        if any(iface.ip == ip for iface in self.interfaces):
+            raise ValueError(f"duplicate interface address {ip}")
+        interface = Interface(self, ip)
+        self.interfaces.append(interface)
+        return interface
+
+    def interface(self, ip: str) -> Interface:
+        for iface in self.interfaces:
+            if iface.ip == ip:
+                return iface
+        raise KeyError(f"{self.name} has no interface {ip}")
+
+    @property
+    def addresses(self) -> list[str]:
+        return [iface.ip for iface in self.interfaces]
+
+    @property
+    def primary_address(self) -> str:
+        if not self.interfaces:
+            raise RuntimeError(f"{self.name} has no interfaces")
+        return self.interfaces[0].ip
+
+    def allocate_port(self) -> int:
+        port = self._next_port
+        self._next_port += 1
+        return port
+
+    # ------------------------------------------------------------------
+    # Socket registration / demux
+    # ------------------------------------------------------------------
+    def register_connection(self, local: Endpoint, remote: Endpoint, sink: SegmentSink) -> None:
+        key = (local, remote)
+        if key in self._connections:
+            raise ValueError(f"connection {local}<->{remote} already bound")
+        self._connections[key] = sink
+
+    def unregister_connection(self, local: Endpoint, remote: Endpoint) -> None:
+        self._connections.pop((local, remote), None)
+
+    def register_listener(self, port: int, sink: SegmentSink) -> None:
+        if port in self._listeners:
+            raise ValueError(f"port {port} already listening")
+        self._listeners[port] = sink
+
+    def unregister_listener(self, port: int) -> None:
+        self._listeners.pop(port, None)
+
+    def connection_sink(self, local: Endpoint, remote: Endpoint) -> Optional[SegmentSink]:
+        return self._connections.get((local, remote))
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def send(self, segment: Segment) -> None:
+        """Route a segment out of the interface owning its source address."""
+        segment.created_at = self.sim.now
+        for hook in self.on_send:
+            hook(segment)
+        try:
+            interface = self.interface(segment.src.ip)
+        except KeyError:
+            # Source address no longer exists (interface removed by a
+            # mobility event): silently drop, as a kernel would.
+            return
+        route = interface.route_for(segment.dst.ip)
+        if route is None:
+            return
+        path, direction = route
+        self.segments_sent += 1
+        path.send(segment, direction)
+
+    def deliver(self, segment: Segment) -> None:
+        """Called by the attached path when a segment arrives."""
+        self.segments_received += 1
+        for hook in self.on_receive:
+            hook(segment)
+        sink = self._connections.get((segment.dst, segment.src))
+        if sink is None:
+            sink = self._listeners.get(segment.dst.port)
+        if sink is not None:
+            sink.segment_arrives(segment)
+            return
+        self._reset_unknown(segment)
+
+    def _reset_unknown(self, segment: Segment) -> None:
+        """RFC 793: a segment to a non-existent connection draws a RST."""
+        if segment.rst:
+            return
+        if segment.has_ack:
+            reset = Segment(
+                src=segment.dst, dst=segment.src, seq=segment.ack, flags=RST, window=0
+            )
+        else:
+            reset = Segment(
+                src=segment.dst,
+                dst=segment.src,
+                seq=0,
+                ack=(segment.seq + segment.seq_space) % (1 << 32),
+                flags=RST | ACK,
+                window=0,
+            )
+        self.send(reset)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Host {self.name} addrs={self.addresses}>"

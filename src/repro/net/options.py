@@ -1,0 +1,224 @@
+"""TCP options with a real wire encoding.
+
+Why bother encoding options to bytes in a simulator?  Because the paper's
+constraints are *byte* constraints: TCP's data-offset field allows at most
+40 option bytes per segment, which is exactly why a coalescing middlebox
+cannot preserve two data-sequence mappings (§3.3.5) and why the DSS option
+layout matters.  Every option here round-trips through ``encode`` /
+``decode_options`` and tests enforce it.
+
+The MPTCP option (kind 30) is defined in :mod:`repro.mptcp.options` and
+registers its decoder here, keeping this layer protocol-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+KIND_EOL = 0
+KIND_NOP = 1
+KIND_MSS = 2
+KIND_WSCALE = 3
+KIND_SACK_PERMITTED = 4
+KIND_SACK = 5
+KIND_TIMESTAMPS = 8
+KIND_MPTCP = 30
+
+_DECODERS: dict[int, Callable[[bytes], "TCPOption"]] = {}
+
+
+def register_option(kind: int, decoder: Callable[[bytes], "TCPOption"]) -> None:
+    """Register a decoder for an option kind (body excludes kind+len)."""
+    _DECODERS[kind] = decoder
+
+
+@dataclass(frozen=True)
+class TCPOption:
+    """Base class.  Subclasses are frozen dataclasses (safe to share)."""
+
+    def encode(self) -> bytes:
+        raise NotImplementedError
+
+    @property
+    def kind(self) -> int:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class NoOperation(TCPOption):
+    @property
+    def kind(self) -> int:
+        return KIND_NOP
+
+    def encode(self) -> bytes:
+        return bytes([KIND_NOP])
+
+
+@dataclass(frozen=True)
+class MSSOption(TCPOption):
+    mss: int = 1460
+
+    @property
+    def kind(self) -> int:
+        return KIND_MSS
+
+    def encode(self) -> bytes:
+        return bytes([KIND_MSS, 4]) + self.mss.to_bytes(2, "big")
+
+
+@dataclass(frozen=True)
+class WindowScaleOption(TCPOption):
+    shift: int = 0
+
+    @property
+    def kind(self) -> int:
+        return KIND_WSCALE
+
+    def encode(self) -> bytes:
+        return bytes([KIND_WSCALE, 3, self.shift])
+
+
+@dataclass(frozen=True)
+class SACKPermitted(TCPOption):
+    @property
+    def kind(self) -> int:
+        return KIND_SACK_PERMITTED
+
+    def encode(self) -> bytes:
+        return bytes([KIND_SACK_PERMITTED, 2])
+
+
+@dataclass(frozen=True)
+class SACKOption(TCPOption):
+    """Selective acknowledgment blocks: tuples of (left, right) edges."""
+
+    blocks: tuple[tuple[int, int], ...] = ()
+
+    @property
+    def kind(self) -> int:
+        return KIND_SACK
+
+    def encode(self) -> bytes:
+        body = b"".join(
+            left.to_bytes(4, "big") + right.to_bytes(4, "big") for left, right in self.blocks
+        )
+        return bytes([KIND_SACK, 2 + len(body)]) + body
+
+
+@dataclass(frozen=True)
+class TimestampsOption(TCPOption):
+    tsval: int = 0
+    tsecr: int = 0
+
+    @property
+    def kind(self) -> int:
+        return KIND_TIMESTAMPS
+
+    def encode(self) -> bytes:
+        return (
+            bytes([KIND_TIMESTAMPS, 10])
+            + (self.tsval & 0xFFFFFFFF).to_bytes(4, "big")
+            + (self.tsecr & 0xFFFFFFFF).to_bytes(4, "big")
+        )
+
+
+@dataclass(frozen=True)
+class UnknownOption(TCPOption):
+    """An option the decoder has no registered type for.
+
+    Middleboxes forward these untouched — exactly the "pass options they
+    don't understand" behaviour the paper's §7 warns about.
+    """
+
+    unknown_kind: int = 253
+    body: bytes = b""
+
+    @property
+    def kind(self) -> int:
+        return self.unknown_kind
+
+    def encode(self) -> bytes:
+        return bytes([self.unknown_kind, 2 + len(self.body)]) + self.body
+
+
+def _decode_mss(body: bytes) -> TCPOption:
+    return MSSOption(mss=int.from_bytes(body, "big"))
+
+
+def _decode_wscale(body: bytes) -> TCPOption:
+    return WindowScaleOption(shift=body[0])
+
+
+def _decode_sack_permitted(body: bytes) -> TCPOption:
+    return SACKPermitted()
+
+
+def _decode_sack(body: bytes) -> TCPOption:
+    blocks = tuple(
+        (int.from_bytes(body[i : i + 4], "big"), int.from_bytes(body[i + 4 : i + 8], "big"))
+        for i in range(0, len(body), 8)
+    )
+    return SACKOption(blocks=blocks)
+
+
+def _decode_timestamps(body: bytes) -> TCPOption:
+    return TimestampsOption(
+        tsval=int.from_bytes(body[0:4], "big"), tsecr=int.from_bytes(body[4:8], "big")
+    )
+
+
+register_option(KIND_MSS, _decode_mss)
+register_option(KIND_WSCALE, _decode_wscale)
+register_option(KIND_SACK_PERMITTED, _decode_sack_permitted)
+register_option(KIND_SACK, _decode_sack)
+register_option(KIND_TIMESTAMPS, _decode_timestamps)
+
+
+def encode_options(options: Iterable[TCPOption]) -> bytes:
+    """Encode an option list, padded with NOPs to a 4-byte boundary."""
+    blob = b"".join(option.encode() for option in options)
+    remainder = len(blob) % 4
+    if remainder:
+        blob += bytes([KIND_NOP]) * (4 - remainder)
+    return blob
+
+
+def options_length(options: Iterable[TCPOption]) -> int:
+    """Padded encoded length; the value the TCP data offset must cover."""
+    raw = sum(len(option.encode()) for option in options)
+    return (raw + 3) // 4 * 4
+
+
+def fits_option_space(options: Iterable[TCPOption]) -> bool:
+    return options_length(options) <= 40
+
+
+def decode_options(blob: bytes) -> list[TCPOption]:
+    """Parse an encoded option blob back to typed options.
+
+    Unknown kinds become :class:`UnknownOption`; NOP/EOL padding is
+    dropped.  Raises ValueError on truncated options.
+    """
+    options: list[TCPOption] = []
+    i = 0
+    while i < len(blob):
+        kind = blob[i]
+        if kind == KIND_EOL:
+            break
+        if kind == KIND_NOP:
+            i += 1
+            continue
+        if i + 1 >= len(blob):
+            raise ValueError("truncated option: missing length byte")
+        length = blob[i + 1]
+        if length < 2 or i + length > len(blob):
+            raise ValueError(f"bad option length {length} for kind {kind}")
+        body = blob[i + 2 : i + length]
+        decoder = _DECODERS.get(kind)
+        if decoder is not None:
+            options.append(decoder(body))
+        else:
+            options.append(UnknownOption(unknown_kind=kind, body=body))
+        i += length
+    return options

@@ -1,0 +1,190 @@
+"""The wire model: endpoints and TCP segments.
+
+Segments carry *real* 32-bit sequence/ack numbers, real flag bits, a raw
+16-bit window field and a list of typed options that encode to bytes.
+Middleboxes operate on these objects exactly as a real middlebox operates
+on packets: they can rewrite addresses and sequence numbers, strip options,
+split and merge payloads, and everything downstream (including the MPTCP
+data-sequence mapping machinery) has to cope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Iterable, Optional, Type, TypeVar
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.options import TCPOption
+
+# TCP header flag bits (subset used by the simulator).
+FIN = 0x01
+SYN = 0x02
+RST = 0x04
+PSH = 0x08
+ACK = 0x10
+
+_FLAG_NAMES = [(SYN, "SYN"), (ACK, "ACK"), (FIN, "FIN"), (RST, "RST"), (PSH, "PSH")]
+
+# Fixed header sizes used for packet sizing (IPv4 + TCP without options).
+IP_HEADER_BYTES = 20
+TCP_HEADER_BYTES = 20
+MAX_OPTION_BYTES = 40  # TCP data-offset field limits options to 40 bytes
+
+SEQ_MOD = 1 << 32
+
+
+def flags_repr(flags: int) -> str:
+    """Human-readable flag string, e.g. ``"SYN|ACK"``."""
+    names = [name for bit, name in _FLAG_NAMES if flags & bit]
+    return "|".join(names) if names else "-"
+
+
+@dataclass(frozen=True, order=True)
+class Endpoint:
+    """An (ip, port) pair.  Hashable so it can key demux tables."""
+
+    ip: str
+    port: int
+
+    def __str__(self) -> str:
+        return f"{self.ip}:{self.port}"
+
+
+_T = TypeVar("_T", bound="TCPOption")
+
+
+class Segment:
+    """One TCP segment in flight.
+
+    ``payload`` is real bytes: content-modifying middleboxes genuinely
+    change them and the DSS checksum genuinely detects it.
+    """
+
+    __slots__ = (
+        "src",
+        "dst",
+        "seq",
+        "ack",
+        "flags",
+        "window",
+        "options",
+        "payload",
+        "created_at",
+    )
+
+    def __init__(
+        self,
+        src: Endpoint,
+        dst: Endpoint,
+        seq: int = 0,
+        ack: int = 0,
+        flags: int = 0,
+        window: int = 0,
+        options: Optional[list["TCPOption"]] = None,
+        payload: bytes = b"",
+        created_at: float = 0.0,
+    ):
+        self.src = src
+        self.dst = dst
+        self.seq = seq % SEQ_MOD
+        self.ack = ack % SEQ_MOD
+        self.flags = flags
+        self.window = window
+        self.options: list["TCPOption"] = options if options is not None else []
+        self.payload = payload
+        self.created_at = created_at
+
+    # ------------------------------------------------------------------
+    # Flag helpers
+    # ------------------------------------------------------------------
+    @property
+    def syn(self) -> bool:
+        return bool(self.flags & SYN)
+
+    @property
+    def fin(self) -> bool:
+        return bool(self.flags & FIN)
+
+    @property
+    def rst(self) -> bool:
+        return bool(self.flags & RST)
+
+    @property
+    def has_ack(self) -> bool:
+        return bool(self.flags & ACK)
+
+    # ------------------------------------------------------------------
+    # Sizing
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.payload)
+
+    @property
+    def seq_space(self) -> int:
+        """Bytes of sequence space consumed (payload plus SYN/FIN)."""
+        return len(self.payload) + (1 if self.syn else 0) + (1 if self.fin else 0)
+
+    @property
+    def end_seq(self) -> int:
+        return (self.seq + self.seq_space) % SEQ_MOD
+
+    def options_length(self) -> int:
+        """Encoded (padded) length of the option list in bytes."""
+        from repro.net.options import options_length
+
+        return options_length(self.options)
+
+    @property
+    def size_bytes(self) -> int:
+        """On-the-wire size including IP and TCP headers."""
+        return IP_HEADER_BYTES + TCP_HEADER_BYTES + self.options_length() + len(self.payload)
+
+    # ------------------------------------------------------------------
+    # Option access
+    # ------------------------------------------------------------------
+    def find_option(self, option_type: Type[_T]) -> Optional[_T]:
+        """First option of the given type, or None."""
+        for option in self.options:
+            if isinstance(option, option_type):
+                return option
+        return None
+
+    def find_options(self, option_type: Type[_T]) -> list[_T]:
+        return [option for option in self.options if isinstance(option, option_type)]
+
+    def remove_options(self, option_type: Type["TCPOption"]) -> int:
+        """Strip all options of a type; returns how many were removed."""
+        kept = [option for option in self.options if not isinstance(option, option_type)]
+        removed = len(self.options) - len(kept)
+        self.options = kept
+        return removed
+
+    # ------------------------------------------------------------------
+    # Copying (middleboxes and retransmissions need deep-enough copies)
+    # ------------------------------------------------------------------
+    def copy(self) -> "Segment":
+        """A copy sharing nothing mutable with the original.
+
+        Options are immutable dataclasses, so sharing the instances is
+        safe; the *list* is copied so adding/stripping options on the copy
+        leaves the original intact.
+        """
+        return Segment(
+            src=self.src,
+            dst=self.dst,
+            seq=self.seq,
+            ack=self.ack,
+            flags=self.flags,
+            window=self.window,
+            options=list(self.options),
+            payload=self.payload,
+            created_at=self.created_at,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        opts = ",".join(type(option).__name__ for option in self.options)
+        return (
+            f"<Seg {self.src}->{self.dst} {flags_repr(self.flags)} "
+            f"seq={self.seq} ack={self.ack} len={len(self.payload)} win={self.window}"
+            f"{' opts=' + opts if opts else ''}>"
+        )

@@ -1,0 +1,134 @@
+"""Packet capture: a tcpdump for the simulator.
+
+Attach a :class:`PacketTrace` to any path (or every path of a network)
+and get a time-ordered record of segments with decoded MPTCP options —
+the tool used to debug every middlebox interaction in this repository.
+
+>>> trace = PacketTrace.attach_all(net)
+>>> ...run...
+>>> print(trace.format())            # human-readable capture
+>>> syns = trace.filter(syn=True)    # programmatic access
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+from repro.net.packet import Segment, flags_repr
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.network import Network
+    from repro.net.path import Path
+
+
+@dataclass
+class TraceRecord:
+    time: float
+    path_name: str
+    direction: int
+    segment: Segment  # a copy, frozen at capture time
+
+    def format(self) -> str:
+        seg = self.segment
+        arrow = "->" if self.direction == 1 else "<-"
+        parts = [
+            f"{self.time*1000:10.3f}ms",
+            f"{self.path_name:>16s}",
+            arrow,
+            f"{seg.src}",
+            ">",
+            f"{seg.dst}",
+            flags_repr(seg.flags),
+            f"seq={seg.seq}",
+        ]
+        if seg.has_ack:
+            parts.append(f"ack={seg.ack}")
+        parts.append(f"win={seg.window}")
+        if seg.payload:
+            parts.append(f"len={len(seg.payload)}")
+        if seg.options:
+            names = ",".join(type(option).__name__ for option in seg.options)
+            parts.append(f"[{names}]")
+        return " ".join(parts)
+
+
+class PacketTrace:
+    """Capture segments crossing one or more paths."""
+
+    def __init__(self, limit: Optional[int] = 100_000):
+        self.records: list[TraceRecord] = []
+        self.limit = limit
+        self.dropped = 0
+        self._predicate: Optional[Callable[[Segment], bool]] = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach(cls, path: "Path", limit: Optional[int] = 100_000) -> "PacketTrace":
+        trace = cls(limit=limit)
+        path.add_tap(trace._tap)
+        return trace
+
+    @classmethod
+    def attach_all(cls, network: "Network", limit: Optional[int] = 100_000) -> "PacketTrace":
+        trace = cls(limit=limit)
+        for path in network.paths:
+            path.add_tap(trace._tap)
+        return trace
+
+    def set_filter(self, predicate: Callable[[Segment], bool]) -> None:
+        """Capture only segments the predicate accepts."""
+        self._predicate = predicate
+
+    def _tap(self, path: "Path", segment: Segment, direction: int) -> None:
+        if self._predicate is not None and not self._predicate(segment):
+            return
+        if self.limit is not None and len(self.records) >= self.limit:
+            self.dropped += 1
+            return
+        self.records.append(
+            TraceRecord(
+                time=path.sim.now,
+                path_name=path.name,
+                direction=direction,
+                segment=segment.copy(),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def filter(
+        self,
+        syn: Optional[bool] = None,
+        fin: Optional[bool] = None,
+        rst: Optional[bool] = None,
+        payload: Optional[bool] = None,
+        option_type: Optional[type] = None,
+        src_port: Optional[int] = None,
+        direction: Optional[int] = None,
+    ) -> list[TraceRecord]:
+        """Records matching every given criterion."""
+        out = []
+        for record in self.records:
+            seg = record.segment
+            if syn is not None and seg.syn != syn:
+                continue
+            if fin is not None and seg.fin != fin:
+                continue
+            if rst is not None and seg.rst != rst:
+                continue
+            if payload is not None and bool(seg.payload) != payload:
+                continue
+            if option_type is not None and seg.find_option(option_type) is None:
+                continue
+            if src_port is not None and seg.src.port != src_port:
+                continue
+            if direction is not None and record.direction != direction:
+                continue
+            out.append(record)
+        return out
+
+    def format(self, records: Optional[Iterable[TraceRecord]] = None) -> str:
+        return "\n".join(record.format() for record in (records or self.records))
+
+    def __len__(self) -> int:
+        return len(self.records)

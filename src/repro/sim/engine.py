@@ -1,0 +1,178 @@
+"""Event loop: a deterministic priority-queue scheduler.
+
+Design notes
+------------
+* Events are ordered by ``(time, sequence_number)``.  The monotonically
+  increasing sequence number makes simultaneous events run in the order
+  they were scheduled, which keeps runs reproducible.
+* Cancellation is lazy: :meth:`Event.cancel` marks the event and the main
+  loop skips it when popped.  This is O(1) and avoids re-heapifying.
+* :class:`Timer` is a restartable one-shot timer built on top of lazy
+  cancellation; TCP retransmission and delayed-ACK timers use it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+
+class Event:
+    """A scheduled callback.  Returned by :meth:`Simulator.schedule`."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Safe to call more than once."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time:.6f} fn={getattr(self.fn, '__name__', self.fn)}{state}>"
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    >>> sim = Simulator()
+    >>> hits = []
+    >>> _ = sim.schedule(1.0, hits.append, "a")
+    >>> _ = sim.schedule(0.5, hits.append, "b")
+    >>> sim.run()
+    >>> hits
+    ['b', 'a']
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list[Event] = []
+        self._seq: int = 0
+        self._events_run: int = 0
+        self._running: bool = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at an absolute simulated time."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        event = Event(time, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def call_soon(self, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at the current time, after pending events."""
+        return self.schedule_at(self.now, fn, *args)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` events have executed."""
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    self.now = until
+                    break
+                heapq.heappop(self._queue)
+                self.now = event.time
+                event.fn(*event.args)
+                self._events_run += 1
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    break
+            else:
+                if until is not None:
+                    self.now = until
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Run a single event.  Returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.fn(*event.args)
+            self._events_run += 1
+            return True
+        return False
+
+    @property
+    def pending(self) -> int:
+        """Number of queued, non-cancelled events."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    @property
+    def events_run(self) -> int:
+        return self._events_run
+
+
+class Timer:
+    """A restartable one-shot timer.
+
+    TCP-style usage: ``restart()`` on every ACK that advances the window,
+    ``stop()`` when the retransmission queue drains, and the callback fires
+    only if neither happened within the timeout.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[[], Any]):
+        self._sim = sim
+        self._callback = callback
+        self._event: Optional[Event] = None
+
+    def start(self, delay: float) -> None:
+        """Arm the timer; raises if it is already running."""
+        if self.running:
+            raise RuntimeError("timer already running")
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def restart(self, delay: float) -> None:
+        """(Re)arm the timer, cancelling any pending expiry."""
+        self.stop()
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def stop(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    @property
+    def running(self) -> bool:
+        return self._event is not None and not self._event.cancelled
+
+    @property
+    def expires_at(self) -> Optional[float]:
+        return self._event.time if self.running else None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()

@@ -1,0 +1,23 @@
+"""Measurement utilities: goodput/throughput meters, time-weighted
+memory sampling, histogram/PDF helpers, and the CPU cost model used for
+the Fig. 3 (checksum overhead) and Fig. 8 (receive-algorithm load)
+reproductions."""
+
+from repro.stats.metrics import (
+    GoodputMeter,
+    Histogram,
+    MemorySampler,
+    TimeSeries,
+    pdf_from_samples,
+)
+from repro.stats.cpu import CPUCostModel, CPUModelParams
+
+__all__ = [
+    "GoodputMeter",
+    "MemorySampler",
+    "Histogram",
+    "TimeSeries",
+    "pdf_from_samples",
+    "CPUCostModel",
+    "CPUModelParams",
+]

@@ -1,0 +1,89 @@
+"""The CPU cost model.
+
+Two of the paper's figures measure CPU, not network, limits:
+
+* **Fig. 3** — 10 GbE goodput vs MSS with DSS checksums on/off.  The
+  sender is CPU-bound: each packet costs a fixed amount (interrupts,
+  protocol processing) plus per-byte costs (copies; checksums when not
+  offloaded to the NIC).  Goodput is then
+  ``MSS / (fixed + per_byte * (MSS + headers))`` scaled by the core's
+  cycle budget, saturated by the line rate.
+* **Fig. 8** — receiver CPU utilization under the four out-of-order
+  algorithms.  Each received packet costs a base amount plus
+  ``per_op`` for every traversal step its insertion performed in the
+  out-of-order index (counted by :mod:`repro.mptcp.ooo` for real).
+
+The constants are calibrated so the *shapes* match the paper (checksum
+costs ~30% at jumbo frames; 8-subflow Regular ≈ 42% utilization
+dropping to ≈ 30% with AllShortcuts); absolute GHz are not the claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CPUModelParams:
+    """Per-operation CPU costs, in seconds of core time."""
+
+    per_packet: float = 2.5e-6  # interrupt + protocol processing
+    per_byte_copy: float = 0.57e-9  # memory copies (always paid)
+    per_byte_checksum: float = 0.33e-9  # software one's-complement sum
+    per_ooo_base: float = 0.6e-6  # receive-path bookkeeping per ooo insert
+    per_ooo_op: float = 0.05e-6  # one traversal/comparison step
+
+
+#: Receiver-side calibration for the Fig. 8 testbed (a different box
+#: than Fig. 3's): plain TCP at 2 Gb/s ≈ 14% of a core.
+RECEIVER_PARAMS = CPUModelParams(
+    per_packet=0.6e-6,
+    per_byte_copy=0.15e-9,
+    per_byte_checksum=0.33e-9,
+    per_ooo_base=0.6e-6,
+    per_ooo_op=0.05e-6,
+)
+
+
+class CPUCostModel:
+    """Accumulates simulated core time for one endpoint."""
+
+    def __init__(self, params: CPUModelParams | None = None):
+        self.params = params or CPUModelParams()
+        self.busy_seconds = 0.0
+        self.packets = 0
+        self.bytes_copied = 0
+        self.bytes_checksummed = 0
+        self.ooo_ops = 0
+
+    # -- charging -------------------------------------------------------
+    def charge_packet(self, payload_bytes: int, checksummed: bool) -> float:
+        cost = self.params.per_packet + payload_bytes * self.params.per_byte_copy
+        if checksummed:
+            cost += payload_bytes * self.params.per_byte_checksum
+            self.bytes_checksummed += payload_bytes
+        self.packets += 1
+        self.bytes_copied += payload_bytes
+        self.busy_seconds += cost
+        return cost
+
+    def charge_ooo_insert(self, ops: int) -> float:
+        cost = self.params.per_ooo_base + ops * self.params.per_ooo_op
+        self.ooo_ops += ops
+        self.busy_seconds += cost
+        return cost
+
+    # -- reading --------------------------------------------------------
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of one core used over ``elapsed`` seconds."""
+        return min(1.0, self.busy_seconds / elapsed) if elapsed > 0 else 0.0
+
+    def cpu_limited_goodput_bps(self, mss: int, checksummed: bool, overhead: int = 52) -> float:
+        """Fig. 3's model: the goodput one CPU-bound core sustains at a
+        given MSS (packet rate = 1 / per-packet cost)."""
+        per_packet_cost = (
+            self.params.per_packet + (mss + overhead) * self.params.per_byte_copy
+        )
+        if checksummed:
+            per_packet_cost += mss * self.params.per_byte_checksum
+        return mss * 8 / per_packet_cost

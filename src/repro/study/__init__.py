@@ -1,0 +1,25 @@
+"""Synthetic reproduction of the Internet middlebox study (§3, [9]).
+
+The paper validates MPTCP's design against measurements from 142 access
+networks in 24 countries.  We cannot re-run the Internet; instead
+:mod:`repro.study.population` synthesises a population of 142 paths
+whose middlebox behaviours occur at the *observed* rates (6% strip SYN
+options — 14% on port 80; 10%/18% rewrite ISNs; 5%/11% block data after
+holes; 26%/33% mishandle ACKs for unseen data), and
+:mod:`repro.study.runner` drives the real protocol implementations over
+every path:
+
+* plain TCP          — must work on 100% of paths (the baseline),
+* MPTCP              — must *complete* on 100% of paths, negotiating
+                       multipath where possible and falling back
+                       cleanly where not (§3.1's deployability bar),
+* the strawman design — single sequence space striped over two paths —
+                       which the hole-blocking and ACK-mishandling
+                       middleboxes break ("a third of paths will break
+                       such connections").
+"""
+
+from repro.study.population import PathProfile, synthesize_population
+from repro.study.runner import StudyResult, run_study
+
+__all__ = ["PathProfile", "synthesize_population", "StudyResult", "run_study"]

@@ -1,0 +1,156 @@
+"""The synthetic path population.
+
+Each of the 142 paths gets a *profile*: a bundle of middlebox
+behaviours.  The study's aggregate rates are compositional — e.g. some
+ISN rewriting comes from full proxies that also strip options and block
+holes, some from standalone "randomization-improving" firewalls — so
+profiles are built from behaviour classes whose counts are chosen to
+hit the paper's aggregate percentages for both the port-80 and
+non-port-80 columns:
+
+====================================  ==========  =========
+behaviour                              other ports  port 80
+====================================  ==========  =========
+removes options from SYN                    6%        14%
+rewrites initial sequence numbers          10%        18%
+does not pass data after a hole             5%        11%
+mishandles ACK for unseen data             26%        33%
+====================================  ==========  =========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.middlebox import (
+    NAT,
+    AckCoercer,
+    HoleBlocker,
+    OptionStripper,
+    SequenceRewriter,
+)
+from repro.net.path import PathElement
+from repro.sim.rng import SeededRNG
+
+
+@dataclass
+class PathProfile:
+    """The middlebox behaviours present on one access path."""
+
+    index: int
+    strips_syn_options: bool = False
+    strips_all_options: bool = False
+    rewrites_isn: bool = False
+    blocks_holes: bool = False
+    ack_mode: str = "pass"  # 'pass' | 'drop' | 'correct'
+    has_nat: bool = False
+
+    def behaviours(self) -> list[str]:
+        found = []
+        if self.strips_all_options:
+            found.append("strip-all-options")
+        elif self.strips_syn_options:
+            found.append("strip-syn-options")
+        if self.rewrites_isn:
+            found.append("isn-rewrite")
+        if self.blocks_holes:
+            found.append("hole-block")
+        if self.ack_mode != "pass":
+            found.append(f"ack-{self.ack_mode}")
+        if self.has_nat:
+            found.append("nat")
+        return found
+
+    def build_elements(
+        self, rng: SeededRNG, nat_ip: str, include_nat: bool = True
+    ) -> list[PathElement]:
+        """Instantiate the actual middlebox chain for this path.
+
+        ``include_nat=False`` is used by the strawman experiment, which
+        measures breakage from sequence-space middleboxes specifically
+        (a NAT breaks the strawman trivially, for the separate §3.2
+        reason that five-tuples stop identifying connections).
+        """
+        elements: list[PathElement] = []
+        if self.has_nat and include_nat:
+            elements.append(NAT(nat_ip))
+        if self.strips_all_options:
+            elements.append(OptionStripper(syn_only=False))
+        elif self.strips_syn_options:
+            elements.append(OptionStripper(syn_only=True))
+        if self.rewrites_isn:
+            elements.append(SequenceRewriter(rng.fork(f"isn{self.index}")))
+        if self.blocks_holes:
+            elements.append(HoleBlocker())
+        if self.ack_mode != "pass":
+            elements.append(AckCoercer(mode=self.ack_mode))
+        return elements
+
+
+# Behaviour-class counts out of 142 paths, per the study's two columns.
+# A "proxy" bundles option stripping + ISN rewriting + hole blocking +
+# ACK correction, matching the paper's observation that most
+# hole-blockers "seem to be proxies that block new options on SYNs".
+_CLASS_COUNTS = {
+    # class: (count other ports, count port 80); chosen so aggregates hit
+    # the paper's table: strip 9/20 (6%/14%), ISN 14/26 (10%/18%),
+    # holes 7/16 (5%/11%), ack 37/47 (26%/33%) out of 142.
+    "proxy": (6, 14),  # strips options, rewrites, blocks holes, corrects acks
+    "stripper_all": (3, 6),  # strips options from every segment
+    "isn_only": (8, 12),  # standalone ISN randomizers
+    "hole_only": (1, 2),  # non-proxy hole blockers
+    "ack_drop": (16, 17),  # drop ACKs for unseen data
+    "ack_correct": (15, 16),  # "correct" them instead
+}
+
+POPULATION_SIZE = 142
+NAT_FRACTION = 0.45
+
+
+def synthesize_population(port80: bool, seed: int = 2012) -> list[PathProfile]:
+    """The 142-path population for one column of the study."""
+    rng = SeededRNG(seed, f"study-population-{'80' if port80 else 'other'}")
+    column = 1 if port80 else 0
+    profiles = [PathProfile(index=i) for i in range(POPULATION_SIZE)]
+    available = list(range(POPULATION_SIZE))
+    rng.shuffle(available)
+
+    def take(count: int) -> list[int]:
+        nonlocal available
+        chosen, available = available[:count], available[count:]
+        return chosen
+
+    for index in take(_CLASS_COUNTS["proxy"][column]):
+        profile = profiles[index]
+        profile.strips_syn_options = True
+        profile.strips_all_options = True  # proxies regenerate segments
+        profile.rewrites_isn = True
+        profile.blocks_holes = True
+        profile.ack_mode = "correct"
+    for index in take(_CLASS_COUNTS["stripper_all"][column]):
+        profiles[index].strips_syn_options = True
+        profiles[index].strips_all_options = True
+    for index in take(_CLASS_COUNTS["isn_only"][column]):
+        profiles[index].rewrites_isn = True
+    for index in take(_CLASS_COUNTS["hole_only"][column]):
+        profiles[index].blocks_holes = True
+    for index in take(_CLASS_COUNTS["ack_drop"][column]):
+        profiles[index].ack_mode = "drop"
+    for index in take(_CLASS_COUNTS["ack_correct"][column]):
+        profiles[index].ack_mode = "correct"
+    # NATs are orthogonal: residential paths mostly have one.
+    for profile in profiles:
+        profile.has_nat = rng.chance(NAT_FRACTION)
+    return profiles
+
+
+def behaviour_rates(profiles: list[PathProfile]) -> dict[str, float]:
+    """Aggregate percentages, for checking against the paper's table."""
+    n = len(profiles)
+    return {
+        "strip_syn_options": 100.0 * sum(p.strips_syn_options for p in profiles) / n,
+        "isn_rewrite": 100.0 * sum(p.rewrites_isn for p in profiles) / n,
+        "hole_block": 100.0 * sum(p.blocks_holes for p in profiles) / n,
+        "ack_mishandle": 100.0 * sum(p.ack_mode != "pass" for p in profiles) / n,
+        "nat": 100.0 * sum(p.has_nat for p in profiles) / n,
+    }

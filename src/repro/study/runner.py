@@ -1,0 +1,209 @@
+"""Drive the real protocol implementations over the synthetic paths.
+
+For every path profile three transfers run on a fresh topology:
+
+1. **TCP** — one flow through the middleboxes (sanity: must complete).
+2. **MPTCP** — a two-interface client where the *first* subflow crosses
+   the profiled path and the second a clean one.  Must always complete;
+   we record whether multipath was actually used or MPTCP fell back.
+3. **Strawman** — the §3 "simplest possible" design: one TCP sequence
+   space striped packet-by-packet over the profiled and the clean path
+   (realised as TCP over a round-robin bond whose first member is the
+   profiled path).  Hole-blockers see sequence gaps, ACK-mishandlers
+   see ACKs for data they never observed — this is what breaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.apps.bonding import BondRoute
+from repro.apps.bulk import BulkReceiverApp, BulkSenderApp
+from repro.mptcp.api import connect as mptcp_connect
+from repro.mptcp.api import listen as mptcp_listen
+from repro.mptcp.connection import MPTCPConfig
+from repro.net.network import Network
+from repro.net.packet import Endpoint
+from repro.net.path import FORWARD, REVERSE
+from repro.stats.metrics import GoodputMeter
+from repro.study.population import PathProfile
+from repro.tcp.listener import Listener
+from repro.tcp.socket import TCPConfig, TCPSocket
+
+
+@dataclass
+class PathOutcome:
+    profile: PathProfile
+    tcp_ok: bool = False
+    tcp_time: Optional[float] = None
+    mptcp_ok: bool = False
+    mptcp_multipath: bool = False
+    mptcp_fallback: bool = False
+    strawman_completed: bool = False
+    strawman_time: Optional[float] = None
+
+    # "Broken" operationalized: never completed, or crawled an order of
+    # magnitude slower than plain TCP over the same middleboxes — a
+    # connection stalling on retransmission timeouts is broken for any
+    # interactive use even if bytes eventually trickle through.
+    SLOWDOWN_BROKEN = 10.0
+
+    @property
+    def strawman_ok(self) -> bool:
+        if not self.strawman_completed:
+            return False
+        if self.tcp_time and self.strawman_time:
+            return self.strawman_time <= self.SLOWDOWN_BROKEN * self.tcp_time
+        return True
+
+
+@dataclass
+class StudyResult:
+    outcomes: list[PathOutcome] = field(default_factory=list)
+
+    def rate(self, predicate) -> float:
+        if not self.outcomes:
+            return 0.0
+        return 100.0 * sum(1 for o in self.outcomes if predicate(o)) / len(self.outcomes)
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "tcp_completed": self.rate(lambda o: o.tcp_ok),
+            "mptcp_completed": self.rate(lambda o: o.mptcp_ok),
+            "mptcp_used_multipath": self.rate(lambda o: o.mptcp_multipath),
+            "mptcp_fell_back": self.rate(lambda o: o.mptcp_fallback),
+            "strawman_completed": self.rate(lambda o: o.strawman_ok),
+            "strawman_broken": self.rate(lambda o: not o.strawman_ok),
+        }
+
+
+_RATE = 8e6
+_DELAY = 0.015
+_QUEUE = 60_000
+_TRANSFER = 64 * 1024
+_TIMEOUT = 30.0
+
+
+def _transfer_tcp(
+    net: Network, client, server, timeout: float
+) -> tuple[bool, Optional[float]]:
+    meter = GoodputMeter(net.sim)
+    state = {}
+
+    def on_accept(sock):
+        state["rx"] = BulkReceiverApp(sock, meter, expect_bytes=_TRANSFER, verify=True)
+
+    Listener(server, 80, on_accept=on_accept)
+    sock = TCPSocket(client)
+    BulkSenderApp(sock, _TRANSFER)
+    sock.connect(Endpoint(server.primary_address, 80))
+    net.run(until=timeout)
+    receiver = state.get("rx")
+    ok = receiver is not None and receiver.received >= _TRANSFER and not receiver.corrupt
+    return ok, (receiver.completed_at if ok else None)
+
+
+def _run_tcp_case(profile: PathProfile, seed: int) -> tuple[bool, Optional[float]]:
+    net = Network(seed=seed)
+    client = net.add_host("client", "10.0.0.1")
+    server = net.add_host("server", "10.9.0.1")
+    elements = profile.build_elements(net.rng.fork(f"mb{profile.index}"), "99.0.0.1")
+    net.connect(
+        client.interface("10.0.0.1"),
+        server.interface("10.9.0.1"),
+        rate_bps=_RATE,
+        delay=_DELAY,
+        queue_bytes=_QUEUE,
+        elements=elements,
+    )
+    return _transfer_tcp(net, client, server, _TIMEOUT)
+
+
+def _run_mptcp_case(profile: PathProfile, seed: int) -> tuple[bool, bool, bool]:
+    net = Network(seed=seed)
+    client = net.add_host("client", "10.0.0.1", "10.1.0.1")
+    server = net.add_host("server", "10.9.0.1")
+    elements = profile.build_elements(net.rng.fork(f"mb{profile.index}"), "99.0.0.1")
+    net.connect(
+        client.interface("10.0.0.1"),
+        server.interface("10.9.0.1"),
+        rate_bps=_RATE,
+        delay=_DELAY,
+        queue_bytes=_QUEUE,
+        elements=elements,
+    )
+    net.connect(
+        client.interface("10.1.0.1"),
+        server.interface("10.9.0.1"),
+        rate_bps=_RATE,
+        delay=_DELAY,
+        queue_bytes=_QUEUE,
+    )
+    meter = GoodputMeter(net.sim)
+    state = {}
+    config = MPTCPConfig()
+
+    def on_accept(conn):
+        state["conn"] = conn
+        state["rx"] = BulkReceiverApp(conn, meter, expect_bytes=_TRANSFER, verify=True)
+
+    mptcp_listen(server, 80, config=config, on_accept=on_accept)
+    conn = mptcp_connect(client, Endpoint("10.9.0.1", 80), config=config)
+    BulkSenderApp(conn, _TRANSFER)
+    net.run(until=_TIMEOUT)
+    receiver = state.get("rx")
+    ok = receiver is not None and receiver.received >= _TRANSFER and not receiver.corrupt
+    multipath = (
+        ok
+        and not conn.fallback
+        and sum(1 for s in conn.subflows if s.established_at is not None and not s.failed) >= 2
+    )
+    return ok, multipath, conn.fallback
+
+
+def _run_strawman_case(profile: PathProfile, seed: int) -> tuple[bool, Optional[float]]:
+    """TCP striped over (profiled path, clean path) with one sequence
+    space — §3's strawman."""
+    net = Network(seed=seed)
+    client = net.add_host("client", "10.0.0.1")
+    server = net.add_host("server", "10.9.0.1")
+    iface_c = client.interface("10.0.0.1")
+    iface_s = server.interface("10.9.0.1")
+    elements = profile.build_elements(
+        net.rng.fork(f"mb{profile.index}"), "99.0.0.1", include_nat=False
+    )
+    dirty = net.connect(
+        iface_c, iface_s, rate_bps=_RATE, delay=_DELAY, queue_bytes=_QUEUE, elements=elements
+    )
+    clean = net.connect(
+        iface_c, iface_s, rate_bps=_RATE, delay=_DELAY, queue_bytes=_QUEUE
+    )
+    # Destination-based return routing: ACKs come back over ONE path —
+    # the profiled one (the access network the middlebox lives in).
+    bond = BondRoute(
+        [(dirty, FORWARD), (clean, FORWARD)], name="strawman", reverse_mode="pin-first"
+    )
+    iface_c.routes["10.9.0.1"] = (bond, FORWARD)  # type: ignore[assignment]
+    iface_s.routes["10.0.0.1"] = (bond, REVERSE)  # type: ignore[assignment]
+    return _transfer_tcp(net, client, server, _TIMEOUT)
+
+
+def run_study(
+    profiles: list[PathProfile],
+    seed: int = 99,
+    include_strawman: bool = True,
+) -> StudyResult:
+    result = StudyResult()
+    for profile in profiles:
+        outcome = PathOutcome(profile=profile)
+        outcome.tcp_ok, outcome.tcp_time = _run_tcp_case(profile, seed + profile.index)
+        outcome.mptcp_ok, outcome.mptcp_multipath, outcome.mptcp_fallback = _run_mptcp_case(
+            profile, seed + 1000 + profile.index
+        )
+        if include_strawman:
+            outcome.strawman_completed, outcome.strawman_time = _run_strawman_case(
+                profile, seed + 2000 + profile.index
+            )
+        result.outcomes.append(outcome)
+    return result

@@ -1,0 +1,38 @@
+"""A complete TCP implementation on the simulator.
+
+This is the substrate the paper's contribution extends: RFC 793 state
+machine, three-way handshake with option negotiation (MSS, window scale,
+timestamps), cumulative ACKs with out-of-order reassembly, RFC 6298
+retransmission timing, NewReno congestion control with fast
+retransmit/recovery, flow control with zero-window probing, delayed ACKs
+and the full FIN/RST teardown machinery.
+
+:class:`~repro.tcp.socket.TCPSocket` exposes protected hooks
+(`_next_chunk`, `_deliver_payload`, `_ack_options`, ...) that
+:mod:`repro.mptcp` overrides to turn a socket into an MPTCP subflow.
+"""
+
+from repro.tcp.seq import seq_add, seq_diff, seq_ge, seq_gt, seq_le, seq_lt
+from repro.tcp.rtt import RTTEstimator
+from repro.tcp.buffer import ByteStream, ReassemblyQueue
+from repro.tcp.cc import CongestionController, NewReno
+from repro.tcp.state import TCPState
+from repro.tcp.socket import TCPSocket
+from repro.tcp.listener import Listener
+
+__all__ = [
+    "seq_add",
+    "seq_diff",
+    "seq_ge",
+    "seq_gt",
+    "seq_le",
+    "seq_lt",
+    "RTTEstimator",
+    "ByteStream",
+    "ReassemblyQueue",
+    "CongestionController",
+    "NewReno",
+    "TCPState",
+    "TCPSocket",
+    "Listener",
+]

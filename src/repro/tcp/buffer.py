@@ -1,0 +1,183 @@
+"""Byte buffers used by both TCP sockets and the MPTCP connection level.
+
+* :class:`ByteStream` — a send-side sliding window over an append-only
+  byte stream: bytes enter at the tail, are readable at any offset that
+  has not been released, and are freed from the head as they are
+  (data-)acknowledged.  Its ``__len__`` is the *memory footprint*, which
+  is what the Fig. 5 memory accounting samples.
+* :class:`ReassemblyQueue` — a receive-side out-of-order store with
+  overlap trimming, used at the subflow level.  (The connection-level
+  out-of-order queue, with the paper's Regular/Tree/Shortcuts variants,
+  lives in :mod:`repro.mptcp.ooo`.)
+
+Both work in *absolute* (unwrapped) stream offsets; the 32-bit wrapping is
+confined to the socket's segment encode/decode boundary.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Optional
+
+
+class ByteStream:
+    """An append-only stream retaining bytes from ``head`` to ``tail``.
+
+    >>> s = ByteStream()
+    >>> s.append(b"hello world")
+    11
+    >>> s.peek(6, 5)
+    b'world'
+    >>> s.release_to(6); len(s)
+    5
+    """
+
+    _COMPACT_THRESHOLD = 1 << 16
+
+    def __init__(self, base: int = 0):
+        self._buffer = bytearray()
+        self._offset = 0  # index in _buffer corresponding to self.head
+        self.head = base  # absolute offset of first retained byte
+        self.tail = base  # absolute offset one past the last byte
+
+    def append(self, data: bytes) -> int:
+        """Add bytes at the tail; returns the new tail offset."""
+        self._buffer.extend(data)
+        self.tail += len(data)
+        return self.tail
+
+    def peek(self, offset: int, length: int) -> bytes:
+        """Read (without consuming) ``length`` bytes at absolute ``offset``."""
+        if offset < self.head:
+            raise IndexError(f"offset {offset} below head {self.head} (already released)")
+        if offset + length > self.tail:
+            raise IndexError(f"range [{offset},{offset+length}) beyond tail {self.tail}")
+        start = self._offset + (offset - self.head)
+        return bytes(self._buffer[start : start + length])
+
+    def release_to(self, offset: int) -> None:
+        """Free all bytes before ``offset`` (cumulative-ACK semantics)."""
+        if offset <= self.head:
+            return
+        if offset > self.tail:
+            raise IndexError(f"cannot release past tail {self.tail}")
+        self._offset += offset - self.head
+        self.head = offset
+        if self._offset > self._COMPACT_THRESHOLD and self._offset > len(self._buffer) // 2:
+            del self._buffer[: self._offset]
+            self._offset = 0
+
+    def __len__(self) -> int:
+        """Bytes currently held in memory."""
+        return self.tail - self.head
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<ByteStream [{self.head},{self.tail}) {len(self)}B>"
+
+
+class ReassemblyQueue:
+    """Out-of-order byte store with overlap trimming.
+
+    Middleboxes (and retransmissions) can deliver duplicate or partially
+    overlapping segments; on insert, bytes already present win and the
+    newcomer fills only the gaps, so the reassembled stream is consistent
+    even when a traffic normalizer has re-asserted original content
+    upstream.  Overlapping and adjacent blocks are merged, keeping the
+    store a sorted list of disjoint runs.
+    """
+
+    def __init__(self):
+        self._starts: list[int] = []  # sorted, disjoint, non-adjacent
+        self._blocks: dict[int, bytes] = {}
+        self.buffered_bytes = 0
+
+    def insert(self, start: int, data: bytes, limit: Optional[int] = None) -> int:
+        """Insert ``data`` at absolute offset ``start``.
+
+        ``limit`` (if given) is the highest offset that may be stored (the
+        receive-window right edge); bytes beyond it are discarded.
+        Returns the number of genuinely new bytes stored.
+        """
+        if limit is not None and start + len(data) > limit:
+            data = data[: max(0, limit - start)]
+        if not data:
+            return 0
+        end = start + len(data)
+
+        # Collect every existing block overlapping or adjacent to [start, end).
+        first = bisect_left(self._starts, start)
+        if first > 0:
+            prev_start = self._starts[first - 1]
+            if prev_start + len(self._blocks[prev_start]) >= start:
+                first -= 1
+        last = first
+        while last < len(self._starts) and self._starts[last] <= end:
+            last += 1
+        overlapping = self._starts[first:last]
+
+        if not overlapping:
+            self._starts.insert(first, start)
+            self._blocks[start] = data
+            self.buffered_bytes += len(data)
+            return len(data)
+
+        merged_start = min(start, overlapping[0])
+        last_block_start = overlapping[-1]
+        merged_end = max(end, last_block_start + len(self._blocks[last_block_start]))
+        merged = bytearray(merged_end - merged_start)
+        # Lay down the new data first, then let existing bytes win.
+        merged[start - merged_start : end - merged_start] = data
+        existing_bytes = 0
+        for block_start in overlapping:
+            block = self._blocks.pop(block_start)
+            existing_bytes += len(block)
+            merged[block_start - merged_start : block_start - merged_start + len(block)] = block
+        del self._starts[first:last]
+        self._starts.insert(first, merged_start)
+        self._blocks[merged_start] = bytes(merged)
+        stored = len(merged) - existing_bytes
+        self.buffered_bytes += stored
+        return stored
+
+    def extract_in_order(self, next_offset: int) -> bytes:
+        """Remove and return all contiguous bytes starting at ``next_offset``.
+
+        Blocks entirely below ``next_offset`` (stale retransmissions) are
+        discarded.
+        """
+        pieces: list[bytes] = []
+        while self._starts:
+            start = self._starts[0]
+            block = self._blocks[start]
+            if start > next_offset:
+                break
+            skip = next_offset - start
+            self._starts.pop(0)
+            del self._blocks[start]
+            self.buffered_bytes -= len(block)
+            if skip < len(block):
+                pieces.append(block[skip:] if skip else block)
+                next_offset = start + len(block)
+        return b"".join(pieces)
+
+    def sack_blocks(self, max_blocks: int = 3) -> list[tuple[int, int]]:
+        """Up to ``max_blocks`` (start, end) runs of buffered data."""
+        blocks = [
+            (start, start + len(self._blocks[start])) for start in self._starts[:max_blocks]
+        ]
+        return blocks
+
+    @property
+    def block_count(self) -> int:
+        return len(self._starts)
+
+    @property
+    def max_offset(self) -> int:
+        """One past the highest buffered byte, or 0 when empty."""
+        if not self._starts:
+            return 0
+        last = self._starts[-1]
+        return last + len(self._blocks[last])
+
+    def __len__(self) -> int:
+        return self.buffered_bytes

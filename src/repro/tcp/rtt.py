@@ -1,0 +1,75 @@
+"""Round-trip time estimation and retransmission timeout (RFC 6298).
+
+Beyond driving the RTO, the estimator exports ``srtt`` and ``min_rtt``:
+the MPTCP scheduler picks the lowest-``srtt`` subflow with window space,
+and mechanism M4 (cwnd capping) compares ``srtt`` against ``2 * min_rtt``
+to detect a path whose network buffer it is needlessly filling.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class RTTEstimator:
+    """Jacobson/Karels smoothing with RFC 6298 RTO bounds."""
+
+    ALPHA = 1 / 8
+    BETA = 1 / 4
+    K = 4
+
+    def __init__(
+        self,
+        initial_rto: float = 1.0,
+        min_rto: float = 0.2,
+        max_rto: float = 60.0,
+        clock_granularity: float = 0.001,
+    ):
+        self.initial_rto = initial_rto
+        self.min_rto = min_rto
+        self.max_rto = max_rto
+        self.granularity = clock_granularity
+        self.srtt: Optional[float] = None
+        self.rttvar: Optional[float] = None
+        self.min_rtt: Optional[float] = None
+        self.latest_rtt: Optional[float] = None
+        self.samples = 0
+        self._rto = initial_rto
+
+    def sample(self, rtt: float) -> None:
+        """Feed one RTT measurement (never from a retransmitted segment —
+        Karn's rule is enforced by the caller)."""
+        if rtt < 0:
+            raise ValueError("negative RTT sample")
+        rtt = max(rtt, self.granularity)
+        self.latest_rtt = rtt
+        self.samples += 1
+        if self.min_rtt is None or rtt < self.min_rtt:
+            self.min_rtt = rtt
+        if self.srtt is None:
+            self.srtt = rtt
+            self.rttvar = rtt / 2
+        else:
+            assert self.rttvar is not None
+            self.rttvar = (1 - self.BETA) * self.rttvar + self.BETA * abs(self.srtt - rtt)
+            self.srtt = (1 - self.ALPHA) * self.srtt + self.ALPHA * rtt
+        self._rto = self.srtt + max(self.granularity, self.K * self.rttvar)
+        self._rto = min(self.max_rto, max(self.min_rto, self._rto))
+
+    @property
+    def rto(self) -> float:
+        return self._rto
+
+    def backoff(self) -> float:
+        """Exponential backoff after a retransmission timeout."""
+        self._rto = min(self.max_rto, self._rto * 2)
+        return self._rto
+
+    @property
+    def smoothed(self) -> float:
+        """srtt with a sane default before the first sample."""
+        return self.srtt if self.srtt is not None else self.initial_rto
+
+    def __repr__(self) -> str:  # pragma: no cover
+        srtt = f"{self.srtt*1000:.1f}ms" if self.srtt is not None else "?"
+        return f"<RTT srtt={srtt} rto={self._rto*1000:.0f}ms>"

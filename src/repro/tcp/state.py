@@ -1,0 +1,50 @@
+"""RFC 793 connection states."""
+
+from __future__ import annotations
+
+import enum
+
+
+class TCPState(enum.Enum):
+    CLOSED = "CLOSED"
+    LISTEN = "LISTEN"
+    SYN_SENT = "SYN_SENT"
+    SYN_RCVD = "SYN_RCVD"
+    ESTABLISHED = "ESTABLISHED"
+    FIN_WAIT_1 = "FIN_WAIT_1"
+    FIN_WAIT_2 = "FIN_WAIT_2"
+    CLOSING = "CLOSING"
+    TIME_WAIT = "TIME_WAIT"
+    CLOSE_WAIT = "CLOSE_WAIT"
+    LAST_ACK = "LAST_ACK"
+
+    @property
+    def synchronized(self) -> bool:
+        """States past the three-way handshake."""
+        return self in _SYNCHRONIZED
+
+    @property
+    def can_receive_data(self) -> bool:
+        return self in _RECEIVING
+
+    @property
+    def may_send_data(self) -> bool:
+        """States in which the local application may still submit data."""
+        return self in (TCPState.ESTABLISHED, TCPState.CLOSE_WAIT)
+
+
+_SYNCHRONIZED = frozenset(
+    {
+        TCPState.ESTABLISHED,
+        TCPState.FIN_WAIT_1,
+        TCPState.FIN_WAIT_2,
+        TCPState.CLOSING,
+        TCPState.TIME_WAIT,
+        TCPState.CLOSE_WAIT,
+        TCPState.LAST_ACK,
+    }
+)
+
+_RECEIVING = frozenset(
+    {TCPState.ESTABLISHED, TCPState.FIN_WAIT_1, TCPState.FIN_WAIT_2}
+)

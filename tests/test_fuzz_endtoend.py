@@ -1,0 +1,113 @@
+"""End-to-end fuzzing: random adversity, one invariant — the stream is
+delivered intact or the connection reports an error.  Never silent
+corruption, never a hang with live paths."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.middlebox import (
+    AckCoercer,
+    HoleBlocker,
+    OptionStripper,
+    SegmentCoalescer,
+    SegmentSplitter,
+    SequenceRewriter,
+)
+from repro.mptcp.connection import MPTCPConfig
+from repro.sim.rng import SeededRNG
+
+from conftest import make_multipath, make_tcp_pair, mptcp_transfer, random_payload, tcp_transfer
+
+
+ELEMENT_MAKERS = [
+    lambda seed: SequenceRewriter(SeededRNG(seed, "fz")),
+    lambda seed: OptionStripper(syn_only=True),
+    lambda seed: OptionStripper(syn_only=False),
+    lambda seed: SegmentSplitter(mss=700),
+    lambda seed: SegmentCoalescer(merge_probability=0.05, rng=SeededRNG(seed, "fc")),
+    lambda seed: AckCoercer(mode="correct"),
+    lambda seed: HoleBlocker(),
+]
+
+
+class TestTCPFuzz:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        loss_pct=st.integers(min_value=0, max_value=8),
+        size_kb=st.integers(min_value=1, max_value=120),
+    )
+    def test_tcp_random_loss_never_corrupts(self, seed, loss_pct, size_kb):
+        net, client, server = make_tcp_pair(seed=seed, loss=loss_pct / 100)
+        payload = random_payload(size_kb * 1024, seed=seed)
+        result = tcp_transfer(net, client, server, payload, duration=240)
+        assert bytes(result.received) == payload
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        element_index=st.integers(min_value=0, max_value=len(ELEMENT_MAKERS) - 1),
+    )
+    def test_tcp_through_random_middlebox(self, seed, element_index):
+        element = ELEMENT_MAKERS[element_index](seed)
+        net, client, server = make_tcp_pair(seed=seed, elements=[element])
+        payload = random_payload(60_000, seed=seed)
+        result = tcp_transfer(net, client, server, payload, duration=120)
+        assert bytes(result.received) == payload
+
+
+class TestMPTCPFuzz:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        loss_a=st.integers(min_value=0, max_value=5),
+        loss_b=st.integers(min_value=0, max_value=5),
+        checksum=st.booleans(),
+    )
+    def test_mptcp_random_loss_never_corrupts(self, seed, loss_a, loss_b, checksum):
+        net, client, server = make_multipath(
+            seed=seed,
+            paths=[
+                dict(rate_bps=8e6, delay=0.01, queue_bytes=80_000, loss=loss_a / 100),
+                dict(rate_bps=2e6, delay=0.05, queue_bytes=100_000, loss=loss_b / 100),
+            ],
+        )
+        payload = random_payload(100_000, seed=seed)
+        config = MPTCPConfig(checksum=checksum)
+        result = mptcp_transfer(net, client, server, payload, duration=240, config=config)
+        assert bytes(result.received) == payload
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        element_index=st.integers(min_value=0, max_value=len(ELEMENT_MAKERS) - 1),
+        dirty_path=st.integers(min_value=0, max_value=1),
+    )
+    def test_mptcp_through_random_middlebox(self, seed, element_index, dirty_path):
+        element = ELEMENT_MAKERS[element_index](seed)
+        elements = [[], []]
+        elements[dirty_path] = [element]
+        net, client, server = make_multipath(seed=seed, elements_per_path=elements)
+        payload = random_payload(80_000, seed=seed)
+        result = mptcp_transfer(net, client, server, payload, duration=240)
+        assert bytes(result.received) == payload
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        kill_at_ms=st.integers(min_value=50, max_value=1500),
+        which=st.integers(min_value=0, max_value=1),
+    )
+    def test_mptcp_random_path_failure_never_corrupts(self, seed, kill_at_ms, which):
+        net, client, server = make_multipath(seed=seed)
+        payload = random_payload(150_000, seed=seed)
+
+        def sever():
+            net.paths[which].link_fwd.deliver = lambda s: None
+            net.paths[which].link_rev.deliver = lambda s: None
+
+        net.sim.schedule(kill_at_ms / 1000.0, sever)
+        config = MPTCPConfig(subflow_max_retries=3)
+        result = mptcp_transfer(net, client, server, payload, duration=240, config=config)
+        assert bytes(result.received) == payload

@@ -1,0 +1,125 @@
+"""Host demultiplexing, routing by source address, RST generation."""
+
+from repro.net.network import Network
+from repro.net.packet import ACK, RST, SYN, Endpoint, Segment
+from repro.tcp.listener import Listener
+from repro.tcp.socket import TCPSocket
+
+from conftest import make_tcp_pair
+
+
+class TestRouting:
+    def test_route_by_source_address(self):
+        net = Network(seed=1)
+        client = net.add_host("c", "10.0.0.1", "10.1.0.1")
+        server = net.add_host("s", "10.9.0.1")
+        p1 = net.connect(client.interface("10.0.0.1"), server.interface("10.9.0.1"),
+                         rate_bps=1e6, delay=0.01)
+        p2 = net.connect(client.interface("10.1.0.1"), server.interface("10.9.0.1"),
+                         rate_bps=1e6, delay=0.01)
+        counts = {"p1": 0, "p2": 0}
+        p1.add_tap(lambda p, s, d: d == 1 and counts.__setitem__("p1", counts["p1"] + 1))
+        p2.add_tap(lambda p, s, d: d == 1 and counts.__setitem__("p2", counts["p2"] + 1))
+        client.send(Segment(Endpoint("10.1.0.1", 5), Endpoint("10.9.0.1", 80), flags=SYN))
+        net.run()
+        assert counts == {"p1": 0, "p2": 1}
+
+    def test_unroutable_destination_dropped(self):
+        net = Network(seed=1)
+        client = net.add_host("c", "10.0.0.1")
+        client.send(Segment(Endpoint("10.0.0.1", 5), Endpoint("1.2.3.4", 80), flags=SYN))
+        net.run()  # no exception, silently dropped
+        assert client.segments_sent == 0
+
+    def test_nonexistent_source_interface_dropped(self):
+        net = Network(seed=1)
+        client = net.add_host("c", "10.0.0.1")
+        server = net.add_host("s", "10.9.0.1")
+        net.connect(client.interface("10.0.0.1"), server.interface("10.9.0.1"),
+                    rate_bps=1e6, delay=0.01)
+        client.send(Segment(Endpoint("99.9.9.9", 5), Endpoint("10.9.0.1", 80), flags=SYN))
+        net.run()
+        assert server.segments_received == 0
+
+    def test_duplicate_interface_rejected(self):
+        net = Network(seed=1)
+        host = net.add_host("h", "10.0.0.1")
+        try:
+            host.add_interface("10.0.0.1")
+            assert False, "expected ValueError"
+        except ValueError:
+            pass
+
+    def test_ephemeral_ports_unique(self):
+        net = Network(seed=1)
+        host = net.add_host("h", "10.0.0.1")
+        ports = {host.allocate_port() for _ in range(100)}
+        assert len(ports) == 100
+
+
+class TestDemux:
+    def test_segment_to_closed_port_draws_rst(self):
+        net, client, server = make_tcp_pair()
+        responses = []
+        client.on_receive.append(lambda s: responses.append(s))
+        client.send(
+            Segment(Endpoint("10.0.0.1", 1234), Endpoint("10.9.0.1", 81), flags=SYN, seq=100)
+        )
+        net.run()
+        assert len(responses) == 1
+        assert responses[0].rst
+        # RST for a SYN acknowledges the SYN's sequence space.
+        assert responses[0].ack == 101
+
+    def test_rst_to_closed_port_not_answered(self):
+        net, client, server = make_tcp_pair()
+        responses = []
+        client.on_receive.append(lambda s: responses.append(s))
+        client.send(
+            Segment(Endpoint("10.0.0.1", 1234), Endpoint("10.9.0.1", 81), flags=RST, seq=1)
+        )
+        net.run()
+        assert responses == []  # no RST storms
+
+    def test_established_connection_gets_segments_not_listener(self):
+        net, client, server = make_tcp_pair()
+        accepted = []
+        Listener(server, 80, on_accept=accepted.append)
+        sock = TCPSocket(client)
+        sock.connect(Endpoint("10.9.0.1", 80))
+        net.run(until=1.0)
+        assert len(accepted) == 1
+        listener_sock = accepted[0]
+        before = listener_sock.stats.segments_received
+        sock.send(b"hello")
+        net.run(until=2.0)
+        assert listener_sock.stats.segments_received > before
+
+    def test_two_listeners_same_port_rejected(self):
+        net, client, server = make_tcp_pair()
+        Listener(server, 80)
+        try:
+            Listener(server, 80)
+            assert False
+        except ValueError:
+            pass
+
+    def test_listener_close_releases_port(self):
+        net, client, server = make_tcp_pair()
+        listener = Listener(server, 80)
+        listener.close()
+        Listener(server, 80)  # no error
+
+    def test_stray_ack_to_listener_is_reset(self):
+        net, client, server = make_tcp_pair()
+        Listener(server, 80)
+        responses = []
+        client.on_receive.append(lambda s: responses.append(s))
+        client.send(
+            Segment(
+                Endpoint("10.0.0.1", 9999), Endpoint("10.9.0.1", 80),
+                flags=ACK, seq=500, ack=600,
+            )
+        )
+        net.run()
+        assert len(responses) == 1 and responses[0].rst

@@ -1,0 +1,126 @@
+"""Interoperability: MPTCP and plain TCP endpoints in every pairing
+(the §2 requirement that negotiation never breaks a connection)."""
+
+import pytest
+
+from repro.mptcp.api import connect as mptcp_connect
+from repro.mptcp.api import listen as mptcp_listen
+from repro.net.packet import Endpoint
+from repro.tcp.listener import Listener
+from repro.tcp.socket import TCPSocket
+
+from conftest import make_multipath, make_tcp_pair, random_payload
+
+
+class TestInterop:
+    def test_mptcp_client_to_plain_tcp_server(self):
+        """A legacy server ignores MP_CAPABLE; the MPTCP client must fall
+        back and complete the transfer."""
+        net, client, server = make_tcp_pair()
+        received = bytearray()
+
+        def on_accept(sock):
+            sock.on_data = lambda s: received.extend(s.read())
+            sock.on_eof = lambda s: s.close()
+
+        Listener(server, 80, on_accept=on_accept)  # plain TCP listener
+        conn = mptcp_connect(client, Endpoint("10.9.0.1", 80))
+        payload = random_payload(120_000)
+        progress = {"sent": 0}
+
+        def pump(c):
+            while progress["sent"] < len(payload):
+                accepted = c.send(payload[progress["sent"] :])
+                if accepted == 0:
+                    return
+                progress["sent"] += accepted
+            c.close()
+
+        conn.on_established = pump
+        conn.on_writable = pump
+        net.run(until=30)
+        assert bytes(received) == payload
+        assert conn.fallback
+        assert conn.closed
+
+    def test_plain_tcp_client_to_mptcp_server(self):
+        net, client, server = make_tcp_pair()
+        received = bytearray()
+        holder = {}
+
+        def on_accept(conn):
+            holder["s"] = conn
+            conn.on_data = lambda c: received.extend(c.read())
+            conn.on_eof = lambda c: c.close()
+
+        mptcp_listen(server, 80, on_accept=on_accept)
+        sock = TCPSocket(client)
+        payload = random_payload(120_000)
+
+        def go(s):
+            s.send(payload)
+            s.close()
+
+        sock.on_established = go
+        sock.connect(Endpoint("10.9.0.1", 80))
+        net.run(until=30)
+        assert bytes(received) == payload
+        assert holder["s"].fallback
+
+    def test_mptcp_both_ends_plain_single_path(self):
+        """Single-homed MPTCP-to-MPTCP is just MPTCP with one subflow —
+        full protocol, no joins."""
+        net, client, server = make_tcp_pair()
+        received = bytearray()
+        holder = {}
+
+        def on_accept(conn):
+            holder["s"] = conn
+            conn.on_data = lambda c: received.extend(c.read())
+            conn.on_eof = lambda c: c.close()
+
+        mptcp_listen(server, 80, on_accept=on_accept)
+        conn = mptcp_connect(client, Endpoint("10.9.0.1", 80))
+        payload = random_payload(150_000)
+        progress = {"sent": 0}
+
+        def pump(c):
+            while progress["sent"] < len(payload):
+                accepted = c.send(payload[progress["sent"] :])
+                if accepted == 0:
+                    return
+                progress["sent"] += accepted
+            c.close()
+
+        conn.on_established = pump
+        conn.on_writable = pump
+        net.run(until=30)
+        assert bytes(received) == payload
+        assert not conn.fallback  # genuine MPTCP, one subflow
+        assert len(conn.subflows) == 1
+
+    def test_mixed_servers_on_one_host(self):
+        """A host can serve plain TCP on one port and MPTCP on another."""
+        net, client, server = make_multipath()
+        got = {"tcp": bytearray(), "mptcp": bytearray()}
+
+        def tcp_accept(sock):
+            sock.on_data = lambda s: got["tcp"].extend(s.read())
+            sock.on_eof = lambda s: s.close()
+
+        def mptcp_accept(conn):
+            conn.on_data = lambda c: got["mptcp"].extend(c.read())
+            conn.on_eof = lambda c: c.close()
+
+        Listener(server, 8080, on_accept=tcp_accept)
+        mptcp_listen(server, 80, on_accept=mptcp_accept)
+
+        tcp_sock = TCPSocket(client)
+        tcp_sock.on_established = lambda s: (s.send(b"plain" * 100), s.close())
+        tcp_sock.connect(Endpoint("10.9.0.1", 8080))
+
+        conn = mptcp_connect(client, Endpoint("10.9.0.1", 80))
+        conn.on_established = lambda c: (c.send(b"multi" * 100), c.close())
+        net.run(until=20)
+        assert bytes(got["tcp"]) == b"plain" * 100
+        assert bytes(got["mptcp"]) == b"multi" * 100

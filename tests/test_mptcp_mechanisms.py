@@ -1,0 +1,175 @@
+"""The receive-buffer mechanisms M1–M4 (§4.2)."""
+
+from repro.experiments.common import (
+    THREEG,
+    WIFI,
+    mptcp_variant_config,
+    run_mptcp_bulk,
+    run_tcp_bulk,
+)
+from repro.mptcp.connection import MPTCPConfig
+from repro.tcp.socket import TCPConfig
+
+from conftest import make_multipath, mptcp_transfer, random_payload
+
+BUFFER = 200 * 1024
+
+
+class TestM1OpportunisticRetransmission:
+    def test_triggers_only_when_window_limited(self):
+        """Plenty of buffer and no queue-RTT inflation: M1 must never
+        fire (§4.2: "If the connection is not receive-window limited,
+        opportunistic retransmission never gets triggered").  Uses two
+        shallow-buffered paths — with the deep 3G queue, RTT_max
+        inflation makes even multi-MB buffers genuinely window-limited,
+        which is the paper's M4 motivation, not an M1 bug."""
+        from repro.experiments.common import PathSpec
+
+        paths = [
+            PathSpec(rate_bps=8e6, rtt=0.02, buffer_seconds=0.05, name="a"),
+            PathSpec(rate_bps=4e6, rtt=0.04, buffer_seconds=0.05, name="b"),
+        ]
+        config = mptcp_variant_config("m12", 4 * 1024 * 1024)
+        outcome = run_mptcp_bulk(paths, config, duration=10)
+        assert outcome.connection.scheduler.stats.opportunistic_retransmissions == 0
+
+    def test_fires_when_underbuffered(self):
+        config = mptcp_variant_config("m1", 100 * 1024)
+        outcome = run_mptcp_bulk([WIFI, THREEG], config, duration=10)
+        assert outcome.connection.scheduler.stats.opportunistic_retransmissions > 0
+
+    def test_improves_goodput_when_underbuffered(self):
+        regular = run_mptcp_bulk(
+            [WIFI, THREEG], mptcp_variant_config("regular", BUFFER), duration=15
+        )
+        with_m1 = run_mptcp_bulk(
+            [WIFI, THREEG], mptcp_variant_config("m1", BUFFER), duration=15
+        )
+        assert with_m1.goodput_bps > regular.goodput_bps
+
+    def test_wastes_capacity_throughput_exceeds_goodput(self):
+        """Fig. 4(b): the goodput/throughput gap is M1's duplicate
+        transmissions over 3G."""
+        outcome = run_mptcp_bulk(
+            [WIFI, THREEG], mptcp_variant_config("m1", BUFFER), duration=15
+        )
+        assert outcome.throughput_bps > 1.1 * outcome.goodput_bps
+
+    def test_never_reinjects_own_data(self):
+        config = mptcp_variant_config("m1", BUFFER)
+        outcome = run_mptcp_bulk([WIFI, THREEG], config, duration=10)
+        scheduler = outcome.connection.scheduler
+        for mapping in scheduler.inflight:
+            if mapping.reinjection:
+                # A reinjection mapping exists alongside an original
+                # mapping for the same range on a different subflow.
+                originals = [
+                    m
+                    for m in scheduler.inflight
+                    if not m.reinjection and m.start < mapping.end and mapping.start < m.end
+                ]
+                for original in originals:
+                    assert original.subflow is not mapping.subflow
+
+
+class TestM2Penalization:
+    def test_penalizes_slow_subflow_only(self):
+        config = mptcp_variant_config("m12", BUFFER)
+        outcome = run_mptcp_bulk([WIFI, THREEG], config, duration=15)
+        conn = outcome.connection
+        assert conn.scheduler.stats.penalizations > 0
+        slow = max(conn.subflows, key=lambda s: s.srtt)
+        fast = min(conn.subflows, key=lambda s: s.srtt)
+        assert slow.last_penalty_at > 0
+        assert fast.last_penalty_at < 0  # never penalized
+
+    def test_rate_limited_to_one_per_rtt(self):
+        config = mptcp_variant_config("m12", BUFFER)
+        outcome = run_mptcp_bulk([WIFI, THREEG], config, duration=15)
+        conn = outcome.connection
+        slow = max(conn.subflows, key=lambda s: s.srtt)
+        # Upper bound: one penalty per slow-subflow RTT of runtime.
+        assert conn.scheduler.stats.penalizations <= 15 / max(slow.rtt.min_rtt or 0.1, 0.1) + 5
+
+    def test_m12_beats_m1_alone(self):
+        m1 = run_mptcp_bulk([WIFI, THREEG], mptcp_variant_config("m1", BUFFER), duration=15)
+        m12 = run_mptcp_bulk([WIFI, THREEG], mptcp_variant_config("m12", BUFFER), duration=15)
+        # Goodput at least comparable and waste reduced.
+        assert m12.goodput_bps >= 0.9 * m1.goodput_bps
+        waste_m1 = m1.throughput_bps - m1.goodput_bps
+        waste_m12 = m12.throughput_bps - m12.goodput_bps
+        assert waste_m12 < waste_m1
+
+
+class TestM3Autotuning:
+    def test_buffer_grows_on_demand(self):
+        config = mptcp_variant_config("m123", 1024 * 1024)
+        outcome = run_mptcp_bulk([WIFI, THREEG], config, duration=15)
+        conn = outcome.connection
+        assert conn._rcv_autotuner is not None
+        # It started small and grew (server side grows the rcv buffer;
+        # client side grows its send buffer).
+        assert conn.snd_buf_limit > config.autotune_initial
+
+    def test_autotuned_connection_still_performs(self):
+        fixed = run_mptcp_bulk(
+            [WIFI, THREEG], mptcp_variant_config("m12", 1024 * 1024), duration=15
+        )
+        tuned = run_mptcp_bulk(
+            [WIFI, THREEG], mptcp_variant_config("m123", 1024 * 1024), duration=15
+        )
+        assert tuned.goodput_bps >= 0.7 * fixed.goodput_bps
+
+
+class TestM4Capping:
+    def test_capping_reduces_memory(self):
+        uncapped = run_mptcp_bulk(
+            [WIFI, THREEG],
+            mptcp_variant_config("m123", 1024 * 1024),
+            duration=15,
+            sample_memory=True,
+        )
+        capped = run_mptcp_bulk(
+            [WIFI, THREEG],
+            mptcp_variant_config("m1234", 1024 * 1024),
+            duration=15,
+            sample_memory=True,
+        )
+        assert capped.tx_memory_avg < uncapped.tx_memory_avg
+
+    def test_capping_limits_queue_rtt_inflation(self):
+        capped = run_mptcp_bulk(
+            [WIFI, THREEG], mptcp_variant_config("m1234", 1024 * 1024), duration=15
+        )
+        conn = capped.connection
+        slow = max(conn.subflows, key=lambda s: s.rtt.smoothed)
+        # The 3G path's smoothed RTT stays well below its 2 s of queue.
+        assert slow.rtt.smoothed < 1.2
+
+    def test_capping_on_plain_tcp_keeps_goodput(self):
+        """M4 is FreeBSD's inflight limiter: it must not cost goodput on
+        a single well-buffered path."""
+        plain = run_tcp_bulk(THREEG, 1024 * 1024, duration=15)
+        capped_cfg = TCPConfig(
+            snd_buf=1024 * 1024, rcv_buf=1024 * 1024, cwnd_capping=True
+        )
+        from repro.experiments.common import build_multipath_network
+        from repro.net.packet import Endpoint
+        from repro.tcp.listener import Listener
+        from repro.tcp.socket import TCPSocket
+        from repro.apps.bulk import BulkSenderApp
+        from repro.stats.metrics import GoodputMeter
+
+        net, client, server = build_multipath_network([THREEG], seed=2)
+        meter = GoodputMeter(net.sim)
+
+        def on_accept(sock):
+            sock.on_data = lambda s: meter.add(len(s.read()))
+
+        Listener(server, 80, config=capped_cfg, on_accept=on_accept)
+        sock = TCPSocket(client, config=capped_cfg)
+        BulkSenderApp(sock, None)
+        sock.connect(Endpoint("10.99.0.1", 80))
+        net.run(until=15)
+        meter.finish()
+        assert meter.rate_bps() > 0.85 * plain.goodput_bps

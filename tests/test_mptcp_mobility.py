@@ -1,0 +1,135 @@
+"""Mobility (§3.4): address loss, REMOVE_ADDR, handover continuity."""
+
+import pytest
+
+from repro.mptcp.api import connect, listen
+from repro.mptcp.connection import MPTCPConfig
+from repro.net.packet import Endpoint
+
+from conftest import make_multipath, mptcp_transfer, random_payload
+
+
+class TestRemoveAddr:
+    def test_handover_transfer_survives(self):
+        net, client, server = make_multipath()
+        payload = random_payload(500_000)
+        net.sim.schedule(0.4, lambda: None)  # placeholder ordering
+
+        result_holder = {}
+
+        def arrange(conn):
+            # Mid-transfer, the WiFi address disappears.
+            def lose_wifi():
+                conn.remove_local_address("10.0.0.1")
+
+            net.sim.schedule(0.4, lose_wifi)
+
+        from repro.mptcp.api import connect as mconnect
+        from repro.mptcp.api import listen as mlisten
+
+        received = bytearray()
+        done = {}
+
+        def on_accept(server_conn):
+            result_holder["server"] = server_conn
+            server_conn.on_data = lambda c: received.extend(c.read())
+            server_conn.on_eof = lambda c: c.close()
+
+        mlisten(server, 80, on_accept=on_accept)
+        conn = mconnect(client, Endpoint("10.9.0.1", 80))
+        arrange(conn)
+        progress = {"sent": 0}
+
+        def pump(c):
+            while progress["sent"] < len(payload):
+                accepted = c.send(payload[progress["sent"] : progress["sent"] + 65536])
+                if accepted == 0:
+                    return
+                progress["sent"] += accepted
+            c.close()
+
+        conn.on_established = pump
+        conn.on_writable = pump
+        net.run(until=60)
+        assert bytes(received) == payload
+        assert conn.closed
+
+    def test_remove_addr_announced_to_peer(self):
+        from repro.mptcp.options import RemoveAddr
+
+        net, client, server = make_multipath()
+        holder = {}
+        listen(server, 80, on_accept=lambda c: holder.update(s=c))
+        conn = connect(client, Endpoint("10.9.0.1", 80))
+        net.run(until=1.0)
+        announced = []
+        for path in net.paths:
+            path.add_tap(
+                lambda p, s, d: any(isinstance(o, RemoveAddr) for o in s.options)
+                and announced.append(1)
+            )
+        conn.remove_local_address("10.1.0.1")
+        net.run(until=2.0)
+        assert announced
+
+    def test_peer_closes_matching_subflows(self):
+        net, client, server = make_multipath()
+        holder = {}
+        listen(server, 80, on_accept=lambda c: holder.update(s=c))
+        conn = connect(client, Endpoint("10.9.0.1", 80))
+        net.run(until=1.0)
+        server_conn = holder["s"]
+        live_before = len([s for s in server_conn.subflows if not s.failed])
+        conn.remove_local_address("10.1.0.1")
+        net.run(until=3.0)
+        live_after = len([s for s in server_conn.subflows if not s.failed])
+        assert live_after < live_before
+
+    def test_reinjection_after_loss(self):
+        net, client, server = make_multipath()
+
+        def lose():
+            # Address vanishes while data is in flight on it.
+            pass
+
+        payload = random_payload(400_000)
+        holder = {}
+        received = bytearray()
+
+        def on_accept(c):
+            holder["s"] = c
+            c.on_data = lambda cc: received.extend(cc.read())
+            c.on_eof = lambda cc: cc.close()
+
+        listen(server, 80, on_accept=on_accept)
+        conn = connect(client, Endpoint("10.9.0.1", 80))
+        progress = {"sent": 0}
+
+        def pump(c):
+            while progress["sent"] < len(payload):
+                accepted = c.send(payload[progress["sent"] : progress["sent"] + 65536])
+                if accepted == 0:
+                    return
+                progress["sent"] += accepted
+            c.close()
+
+        conn.on_established = pump
+        conn.on_writable = pump
+        net.sim.schedule(0.3, lambda: conn.remove_local_address("10.1.0.1"))
+        net.run(until=60)
+        assert bytes(received) == payload
+
+    def test_connection_dies_when_last_address_removed_midtransfer(self):
+        net, client, server = make_multipath(
+            paths=[dict(rate_bps=8e6, delay=0.01, queue_bytes=80_000)]
+        )
+        errors = []
+        conn = connect(client, Endpoint("10.9.0.1", 80))
+        listen_result = listen(server, 80)  # noqa: F841 (server side exists)
+        conn.on_error = lambda c, reason: errors.append(reason)
+        net.run(until=0.5)
+        conn.send(random_payload(100_000))
+        net.sim.schedule(0.1, lambda: conn.remove_local_address("10.0.0.1"))
+        net.run(until=5.0)
+        assert conn.closed
+        assert errors

@@ -1,0 +1,165 @@
+"""Subflow-level mapping machinery in isolation: receive-side mapping
+matching, duplicates, partial arrivals, wire offset arithmetic."""
+
+import pytest
+
+from repro.mptcp.api import connect, listen
+from repro.mptcp.checksum import dss_checksum
+from repro.mptcp.connection import MPTCPConfig
+from repro.mptcp.options import DSS
+from repro.mptcp.subflow import RxMapping
+from repro.net.packet import Endpoint
+from repro.tcp.seq import SEQ_MOD
+
+from conftest import make_multipath, mptcp_transfer, random_payload
+
+
+def established_conn_pair(net, client, server, config=None):
+    holder = {}
+    listen(server, 80, config=config, on_accept=lambda c: holder.update(s=c))
+    conn = connect(client, Endpoint("10.9.0.1", 80), config=config)
+    net.run(until=1.0)
+    return conn, holder["s"]
+
+
+class TestRxMappingMatching:
+    def _receiving_subflow(self, checksum=True):
+        net, client, server = make_multipath(
+            paths=[dict(rate_bps=8e6, delay=0.01, queue_bytes=80_000)]
+        )
+        config = MPTCPConfig(checksum=checksum)
+        conn, server_conn = established_conn_pair(net, client, server, config)
+        return net, conn, server_conn, server_conn.subflows[0]
+
+    def test_mapping_then_bytes(self):
+        net, conn, server_conn, subflow = self._receiving_subflow(checksum=False)
+        payload = b"0123456789"
+        dsn = server_conn.rx_wire_dsn(0)
+        mapping = RxMapping(
+            ssn_start=0, data_start=0, length=10, checksum=None,
+            dsn_wire=dsn, ssn_rel_wire=1,
+        )
+        subflow._add_mapping(mapping)
+        subflow._rx_pending.append(payload)
+        subflow._match_mappings()
+        assert bytes(server_conn._rx_ready) == payload
+        assert server_conn.rcv_data_nxt == 10
+
+    def test_partial_arrival_waits_for_full_mapping_with_checksum(self):
+        net, conn, server_conn, subflow = self._receiving_subflow(checksum=True)
+        payload = b"abcdefghij"
+        dsn = server_conn.rx_wire_dsn(0)
+        checksum = dss_checksum(dsn, 1, 10, payload)
+        mapping = RxMapping(
+            ssn_start=0, data_start=0, length=10, checksum=checksum,
+            dsn_wire=dsn, ssn_rel_wire=1,
+        )
+        subflow._add_mapping(mapping)
+        subflow._rx_pending.append(payload[:4])
+        subflow._match_mappings()
+        assert server_conn.rcv_data_nxt == 0  # held: checksum needs it all
+        subflow._rx_pending.append(payload[4:])
+        subflow._match_mappings()
+        assert bytes(server_conn._rx_ready) == payload
+
+    def test_partial_delivery_without_checksum(self):
+        net, conn, server_conn, subflow = self._receiving_subflow(checksum=False)
+        dsn = server_conn.rx_wire_dsn(0)
+        mapping = RxMapping(
+            ssn_start=0, data_start=0, length=10, checksum=None,
+            dsn_wire=dsn, ssn_rel_wire=1,
+        )
+        subflow._add_mapping(mapping)
+        subflow._rx_pending.append(b"abcd")
+        subflow._match_mappings()
+        assert bytes(server_conn._rx_ready) == b"abcd"  # incremental
+
+    def test_duplicate_mapping_ignored(self):
+        net, conn, server_conn, subflow = self._receiving_subflow(checksum=False)
+        dsn = server_conn.rx_wire_dsn(0)
+        mapping = RxMapping(
+            ssn_start=0, data_start=0, length=10, checksum=None,
+            dsn_wire=dsn, ssn_rel_wire=1,
+        )
+        subflow._add_mapping(mapping)
+        subflow._add_mapping(
+            RxMapping(ssn_start=0, data_start=0, length=10, checksum=None,
+                      dsn_wire=dsn, ssn_rel_wire=1)
+        )
+        assert len(subflow._rx_mappings) == 1
+
+    def test_unmapped_bytes_dropped_when_later_mapping_exists(self):
+        net, conn, server_conn, subflow = self._receiving_subflow(checksum=False)
+        dsn = server_conn.rx_wire_dsn(5)
+        # A mapping covering stream offsets [5, 10) only; bytes [0, 5)
+        # have no mapping (the coalescer ate it).
+        subflow._add_mapping(
+            RxMapping(ssn_start=5, data_start=5, length=5, checksum=None,
+                      dsn_wire=dsn, ssn_rel_wire=6)
+        )
+        subflow._rx_pending.append(b"XXXXXabcde")
+        subflow._match_mappings()
+        assert subflow.unmapped_bytes_dropped == 5
+        # The mapped bytes land out-of-order at the data level (hole at 0).
+        assert server_conn.rcv_data_nxt == 0
+        assert len(server_conn.reassembly) == 5
+
+
+class TestOffsetArithmetic:
+    def test_rx_abs_offset_near_wrap(self):
+        net, client, server = make_multipath(
+            paths=[dict(rate_bps=8e6, delay=0.01, queue_bytes=80_000)]
+        )
+        conn, server_conn = established_conn_pair(net, client, server)
+        # Pretend the stream is just before the 32-bit DSN wrap.
+        server_conn.rcv_data_nxt = 0
+        wire = server_conn.rx_wire_dsn(0)
+        assert server_conn.rx_abs_offset(wire) == 0
+        assert server_conn.rx_abs_offset((wire + 100) % SEQ_MOD) == 100
+        assert server_conn.rx_abs_offset((wire - 50) % SEQ_MOD) == -50
+
+    def test_tx_offsets_roundtrip(self):
+        net, client, server = make_multipath(
+            paths=[dict(rate_bps=8e6, delay=0.01, queue_bytes=80_000)]
+        )
+        conn, server_conn = established_conn_pair(net, client, server)
+        for offset in (0, 1, 100_000):
+            assert conn.tx_abs_offset(conn.tx_wire_dsn(offset)) == offset
+
+    def test_dsn_wrap_mid_transfer(self):
+        """Force the IDSN close to 2^32: the DSN space wraps during a
+        moderate transfer and everything still reassembles."""
+        from repro.mptcp import connection as conn_module
+
+        original = conn_module.idsn_from_key
+        conn_module.idsn_from_key = lambda key: SEQ_MOD - 20_000
+        try:
+            net, client, server = make_multipath()
+            payload = random_payload(300_000)
+            result = mptcp_transfer(net, client, server, payload)
+            assert bytes(result.received) == payload
+        finally:
+            conn_module.idsn_from_key = original
+
+
+class TestSubflowAccounting:
+    def test_rx_pending_counts_toward_memory(self):
+        net, conn, server_conn, subflow = (
+            TestRxMappingMatching()._receiving_subflow(checksum=True)
+        )
+        subflow._rx_pending.append(b"x" * 500)  # unmatched bytes
+        assert server_conn.rx_memory_bytes() >= 500
+
+    def test_mptcp_options_budget_never_exceeded(self):
+        """Every segment on the wire fits the 40-byte option budget."""
+        from repro.net.options import options_length
+
+        net, client, server = make_multipath()
+        oversized = []
+        for path in net.paths:
+            path.add_tap(
+                lambda p, s, d: options_length(s.options) > 40
+                and oversized.append(s.copy())
+            )
+        mptcp_transfer(net, client, server, random_payload(300_000))
+        assert oversized == []

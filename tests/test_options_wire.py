@@ -1,0 +1,214 @@
+"""TCP and MPTCP option wire encodings: round-trips, sizes, budgets."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mptcp.options import (
+    DSS,
+    AddAddr,
+    FastClose,
+    MPCapable,
+    MPFail,
+    MPJoin,
+    MPPrio,
+    RemoveAddr,
+)
+from repro.net.options import (
+    MSSOption,
+    NoOperation,
+    SACKOption,
+    SACKPermitted,
+    TimestampsOption,
+    UnknownOption,
+    WindowScaleOption,
+    decode_options,
+    encode_options,
+    fits_option_space,
+    options_length,
+)
+
+
+def roundtrip(options):
+    return decode_options(encode_options(options))
+
+
+class TestStandardOptions:
+    def test_mss_roundtrip(self):
+        assert roundtrip([MSSOption(1460)]) == [MSSOption(1460)]
+
+    def test_wscale_roundtrip(self):
+        assert roundtrip([WindowScaleOption(7)]) == [WindowScaleOption(7)]
+
+    def test_timestamps_roundtrip(self):
+        option = TimestampsOption(tsval=0xDEADBEEF, tsecr=0x12345678)
+        assert roundtrip([option]) == [option]
+
+    def test_sack_permitted_roundtrip(self):
+        assert roundtrip([SACKPermitted()]) == [SACKPermitted()]
+
+    def test_sack_blocks_roundtrip(self):
+        option = SACKOption(blocks=((100, 200), (400, 500)))
+        assert roundtrip([option]) == [option]
+
+    def test_nop_padding_dropped_on_decode(self):
+        blob = encode_options([WindowScaleOption(3)])  # 3 bytes -> padded to 4
+        assert len(blob) == 4
+        assert decode_options(blob) == [WindowScaleOption(3)]
+
+    def test_unknown_option_survives(self):
+        option = UnknownOption(unknown_kind=99, body=b"xy")
+        assert roundtrip([option]) == [option]
+
+    def test_syn_option_set_fits_budget(self):
+        options = [
+            MSSOption(1448),
+            WindowScaleOption(10),
+            TimestampsOption(1, 0),
+            SACKPermitted(),
+            MPCapable(sender_key=0xABCD),
+        ]
+        assert fits_option_space(options)
+
+    def test_truncated_option_raises(self):
+        with pytest.raises(ValueError):
+            decode_options(bytes([2]))  # MSS kind, missing length
+
+    def test_bad_length_raises(self):
+        with pytest.raises(ValueError):
+            decode_options(bytes([2, 1]))  # length < 2
+
+    def test_multiple_options_order_preserved(self):
+        options = [MSSOption(1400), SACKPermitted(), WindowScaleOption(5)]
+        assert roundtrip(options) == options
+
+
+class TestMPTCPOptions:
+    def test_mp_capable_syn_form(self):
+        option = MPCapable(sender_key=0x1122334455667788, checksum_required=True)
+        (decoded,) = roundtrip([option])
+        assert decoded.sender_key == option.sender_key
+        assert decoded.receiver_key is None
+        assert decoded.checksum_required
+
+    def test_mp_capable_third_ack_form(self):
+        option = MPCapable(sender_key=1, receiver_key=2, checksum_required=False)
+        (decoded,) = roundtrip([option])
+        assert decoded.receiver_key == 2
+        assert not decoded.checksum_required
+
+    def test_mp_join_syn_form(self):
+        option = MPJoin(address_id=3, token=0xCAFEBABE, nonce=0x1234)
+        (decoded,) = roundtrip([option])
+        assert (decoded.token, decoded.nonce, decoded.address_id) == (
+            0xCAFEBABE,
+            0x1234,
+            3,
+        )
+        assert decoded.mac is None
+
+    def test_mp_join_synack_form(self):
+        option = MPJoin(address_id=1, mac=0xAABBCCDD00112233, nonce=0x99)
+        (decoded,) = roundtrip([option])
+        assert decoded.mac == 0xAABBCCDD00112233
+        assert decoded.nonce == 0x99
+        assert decoded.token is None
+
+    def test_mp_join_ack_form(self):
+        option = MPJoin(address_id=1, mac=0x42)
+        (decoded,) = roundtrip([option])
+        assert decoded.mac == 0x42
+        assert decoded.nonce is None and decoded.token is None
+
+    def test_dss_full_roundtrip(self):
+        option = DSS(
+            data_ack=1000, dsn=2000, subflow_seq=1, length=1448, checksum=0xBEEF
+        )
+        (decoded,) = roundtrip([option])
+        assert decoded == option
+
+    def test_dss_ack_only(self):
+        (decoded,) = roundtrip([DSS(data_ack=777)])
+        assert decoded.data_ack == 777
+        assert decoded.dsn is None
+
+    def test_dss_mapping_without_checksum(self):
+        option = DSS(dsn=5, subflow_seq=9, length=100, checksum=None)
+        (decoded,) = roundtrip([option])
+        assert decoded.checksum is None
+        assert decoded.length == 100
+
+    def test_dss_data_fin_flag(self):
+        (decoded,) = roundtrip([DSS(data_ack=1, dsn=50, subflow_seq=0, length=0, data_fin=True)])
+        assert decoded.data_fin
+
+    def test_dss_with_ack_and_checksum_fits_with_timestamps(self):
+        dss = DSS(data_ack=1, dsn=2, subflow_seq=3, length=1448, checksum=0xFFFF)
+        assert fits_option_space([TimestampsOption(1, 2), dss])
+
+    def test_two_full_mappings_do_not_fit(self):
+        """§3.3.5: this is why a coalescing middlebox must drop a DSM."""
+        dss = DSS(data_ack=1, dsn=2, subflow_seq=3, length=1448, checksum=0xFFFF)
+        assert not fits_option_space([TimestampsOption(1, 2), dss, dss])
+
+    def test_add_addr_roundtrip(self):
+        option = AddAddr(address_id=5, ip="192.168.1.7")
+        assert roundtrip([option]) == [option]
+
+    def test_add_addr_with_port(self):
+        option = AddAddr(address_id=5, ip="10.0.0.2", port=8080)
+        assert roundtrip([option]) == [option]
+
+    def test_add_addr_rejects_bad_ip(self):
+        with pytest.raises(ValueError):
+            AddAddr(address_id=1, ip="not-an-ip").encode()
+
+    def test_remove_addr_roundtrip(self):
+        assert roundtrip([RemoveAddr(address_id=9)]) == [RemoveAddr(address_id=9)]
+
+    def test_mp_prio_roundtrip(self):
+        assert roundtrip([MPPrio(backup=True, address_id=2)]) == [
+            MPPrio(backup=True, address_id=2)
+        ]
+
+    def test_mp_fail_roundtrip(self):
+        assert roundtrip([MPFail(dsn=0x1122334455)]) == [MPFail(dsn=0x1122334455)]
+
+    def test_fastclose_roundtrip(self):
+        option = FastClose(receiver_key=0xFEEDFACE)
+        assert roundtrip([option]) == [option]
+
+
+class TestOptionProperties:
+    @given(
+        st.integers(min_value=0, max_value=(1 << 64) - 1),
+        st.booleans(),
+    )
+    def test_mp_capable_any_key_roundtrips(self, key, checksum):
+        option = MPCapable(sender_key=key, checksum_required=checksum)
+        assert roundtrip([option]) == [option]
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+        st.integers(min_value=1, max_value=(1 << 32) - 1),
+        st.integers(min_value=1, max_value=0xFFFF),
+        st.one_of(st.none(), st.integers(min_value=0, max_value=0xFFFF)),
+    )
+    def test_dss_any_fields_roundtrip(self, data_ack, dsn, ssn, length, checksum):
+        option = DSS(
+            data_ack=data_ack, dsn=dsn, subflow_seq=ssn, length=length, checksum=checksum
+        )
+        assert roundtrip([option]) == [option]
+
+    @given(st.lists(st.sampled_from([
+        MSSOption(1448), SACKPermitted(), WindowScaleOption(8),
+        TimestampsOption(5, 6), DSS(data_ack=1),
+    ]), max_size=4))
+    def test_encoded_length_matches_helper(self, options):
+        assert len(encode_options(options)) == options_length(options)
+
+    @given(st.binary(min_size=0, max_size=30))
+    def test_unknown_bodies_roundtrip(self, body):
+        option = UnknownOption(unknown_kind=200, body=body)
+        assert roundtrip([option]) == [option]

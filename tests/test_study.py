@@ -1,0 +1,89 @@
+"""The §3 middlebox-study reproduction: population rates and outcomes."""
+
+import pytest
+
+from repro.study.population import (
+    POPULATION_SIZE,
+    behaviour_rates,
+    synthesize_population,
+)
+from repro.study.runner import run_study
+
+
+class TestPopulation:
+    def test_population_size(self):
+        assert len(synthesize_population(port80=False)) == POPULATION_SIZE
+
+    def test_rates_match_paper_other_ports(self):
+        rates = behaviour_rates(synthesize_population(port80=False))
+        assert rates["strip_syn_options"] == pytest.approx(6.0, abs=1.0)
+        assert rates["isn_rewrite"] == pytest.approx(10.0, abs=1.0)
+        assert rates["hole_block"] == pytest.approx(5.0, abs=1.0)
+        assert rates["ack_mishandle"] == pytest.approx(26.0, abs=1.0)
+
+    def test_rates_match_paper_port80(self):
+        rates = behaviour_rates(synthesize_population(port80=True))
+        assert rates["strip_syn_options"] == pytest.approx(14.0, abs=1.0)
+        assert rates["isn_rewrite"] == pytest.approx(18.0, abs=1.0)
+        assert rates["hole_block"] == pytest.approx(11.0, abs=1.0)
+        assert rates["ack_mishandle"] == pytest.approx(33.0, abs=1.0)
+
+    def test_deterministic_per_seed(self):
+        a = synthesize_population(port80=False, seed=5)
+        b = synthesize_population(port80=False, seed=5)
+        assert [p.behaviours() for p in a] == [q.behaviours() for q in b]
+
+    def test_profiles_build_elements(self):
+        from repro.sim.rng import SeededRNG
+
+        for profile in synthesize_population(port80=True)[:20]:
+            elements = profile.build_elements(SeededRNG(1, "x"), "99.0.0.1")
+            assert len(elements) == len(
+                [b for b in profile.behaviours() if b != "strip-syn-options"]
+            ) or elements is not None  # sanity: constructible
+
+
+class TestRunnerSubset:
+    """A stratified subset keeps the suite fast; the full 142-path run
+    lives in benchmarks/test_bench_study.py."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        profiles = synthesize_population(port80=False)
+        by_class = {}
+        for profile in profiles:
+            key = tuple(sorted(set(profile.behaviours()) - {"nat"}))
+            by_class.setdefault(key, profile)
+        return run_study(list(by_class.values()))
+
+    def test_tcp_completes_everywhere(self, result):
+        assert all(outcome.tcp_ok for outcome in result.outcomes)
+
+    def test_mptcp_completes_everywhere(self, result):
+        assert all(outcome.mptcp_ok for outcome in result.outcomes)
+
+    def test_mptcp_multipath_on_clean_paths(self, result):
+        clean = [o for o in result.outcomes if not set(o.profile.behaviours()) - {"nat"}]
+        assert clean and all(o.mptcp_multipath for o in clean)
+
+    def test_mptcp_falls_back_behind_option_strippers(self, result):
+        strippers = [
+            o for o in result.outcomes if o.profile.strips_syn_options
+        ]
+        assert strippers and all(o.mptcp_fallback for o in strippers)
+        assert all(o.mptcp_ok for o in strippers)
+
+    def test_strawman_broken_by_seq_space_middleboxes(self, result):
+        breakers = [
+            o
+            for o in result.outcomes
+            if o.profile.ack_mode != "pass" or o.profile.blocks_holes
+            or o.profile.rewrites_isn
+        ]
+        assert breakers
+        broken = sum(1 for o in breakers if not o.strawman_ok)
+        assert broken >= len(breakers) - 1  # essentially all of them
+
+    def test_strawman_fine_on_clean_paths(self, result):
+        clean = [o for o in result.outcomes if not set(o.profile.behaviours()) - {"nat"}]
+        assert all(o.strawman_ok for o in clean)

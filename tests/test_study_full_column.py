@@ -1,0 +1,46 @@
+"""A fuller slice of the study (one column, 40 stratified paths):
+verifies aggregate outcome percentages, not just per-class behaviour.
+
+Marked to stay tolerable in CI (~1 minute); the complete 142 x 2 run is
+`python -m repro.experiments.table_study`.
+"""
+
+import pytest
+
+from repro.experiments.table_study import check_claims, run_table_study
+
+
+@pytest.fixture(scope="module")
+def column():
+    return run_table_study(port80=False, sample=40)
+
+
+class TestStudyColumn:
+    def test_tcp_100pct(self, column):
+        by_metric = {row["metric"]: row for row in column.rows}
+        assert by_metric["TCP completed"]["measured_pct"] == 100.0
+
+    def test_mptcp_100pct(self, column):
+        by_metric = {row["metric"]: row for row in column.rows}
+        assert by_metric["MPTCP completed"]["measured_pct"] == 100.0
+
+    def test_multipath_majority(self, column):
+        by_metric = {row["metric"]: row for row in column.rows}
+        assert by_metric["MPTCP used multipath"]["measured_pct"] >= 80.0
+
+    def test_fallback_rate_tracks_strippers(self, column):
+        by_metric = {row["metric"]: row for row in column.rows}
+        fell_back = by_metric["MPTCP fell back to TCP"]["measured_pct"]
+        # Fallback should be in the ballpark of the option-stripping
+        # rate (the only behaviour that forces it).
+        assert 0.0 < fell_back <= 20.0
+
+    def test_strawman_breakage_about_a_third(self, column):
+        claims = check_claims(column)
+        assert claims["strawman_breaks_about_a_third"]
+
+    def test_multipath_plus_fallback_covers_everything(self, column):
+        by_metric = {row["metric"]: row for row in column.rows}
+        multipath = by_metric["MPTCP used multipath"]["measured_pct"]
+        fallback = by_metric["MPTCP fell back to TCP"]["measured_pct"]
+        assert multipath + fallback == pytest.approx(100.0, abs=0.1)

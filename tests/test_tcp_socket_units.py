@@ -1,0 +1,166 @@
+"""Unit-level TCP socket behaviours: wire conversions, wrap handling,
+segment acceptability, retransmission-queue trimming."""
+
+import pytest
+
+from repro.net.packet import ACK, SEQ_MOD, Endpoint, Segment
+from repro.tcp.listener import Listener
+from repro.tcp.socket import SentSegment, TCPConfig, TCPSocket
+from repro.tcp.state import TCPState
+
+from conftest import make_tcp_pair, random_payload, tcp_transfer
+
+
+def established(net, client, server, **kwargs):
+    accepted = []
+    Listener(server, 80, on_accept=accepted.append)
+    sock = TCPSocket(client, **kwargs)
+    sock.connect(Endpoint("10.9.0.1", 80))
+    net.run(until=1.0)
+    return sock, accepted[0]
+
+
+class TestWireConversions:
+    def test_roundtrip_tx(self):
+        net, client, server = make_tcp_pair()
+        sock, _ = established(net, client, server)
+        for unit in (0, 1, 1000, 10**7):
+            assert sock._unit_from_ack(sock._wire_seq(unit)) == unit or unit > sock.snd_nxt
+
+    def test_sequence_wrap_transfer(self):
+        """Force an ISS near the 32-bit wrap point: the stream must
+        cross it transparently."""
+        net, client, server = make_tcp_pair()
+        received = bytearray()
+
+        def on_accept(s):
+            s.on_data = lambda sk: received.extend(sk.read())
+
+        Listener(server, 80, on_accept=on_accept)
+        sock = TCPSocket(client)
+        # Pin the ISN close to the wrap.
+        original_init = sock._init_isn
+
+        def pinned():
+            original_init()
+            sock.iss = SEQ_MOD - 5000
+
+        sock._init_isn = pinned
+        payload = random_payload(100_000)  # crosses the wrap early
+
+        def on_established(s):
+            s.send(payload)
+            s.close()
+
+        sock.on_established = on_established
+        sock.connect(Endpoint("10.9.0.1", 80))
+        net.run(until=10.0)
+        assert bytes(received) == payload
+
+
+class TestAcceptability:
+    def test_stale_duplicate_payload_reacked(self):
+        net, client, server = make_tcp_pair()
+        sock, peer = established(net, client, server)
+        sock.send(b"hello")
+        net.run(until=2.0)
+        # Replay the exact first data segment: must be re-ACKed, not
+        # delivered twice.
+        replay = Segment(
+            src=sock.local,
+            dst=peer.local,
+            seq=sock._wire_seq(1),
+            ack=peer.iss + 1,
+            flags=ACK,
+            window=100,
+            payload=b"hello",
+        )
+        before = peer.read()
+        peer.segment_arrives(replay)
+        net.run(until=3.0)
+        assert peer.read() == b""  # no duplicate delivery
+        assert before == b"hello"
+
+    def test_far_future_segment_discarded(self):
+        net, client, server = make_tcp_pair()
+        sock, peer = established(net, client, server)
+        wild = Segment(
+            src=sock.local,
+            dst=peer.local,
+            seq=sock._wire_seq(10_000_000),
+            ack=peer.iss + 1,
+            flags=ACK,
+            payload=b"beyond the window",
+        )
+        peer.segment_arrives(wild)
+        assert peer.rx_available == 0
+        assert len(peer.reassembly) == 0
+
+    def test_ack_for_unsent_data_ignored(self):
+        net, client, server = make_tcp_pair()
+        sock, peer = established(net, client, server)
+        una_before = sock.snd_una
+        phantom = Segment(
+            src=peer.local,
+            dst=sock.local,
+            seq=peer.iss + 1,
+            ack=sock._wire_seq(999_999),
+            flags=ACK,
+            window=100,
+        )
+        sock.segment_arrives(phantom)
+        assert sock.snd_una == una_before
+        assert sock.state is TCPState.ESTABLISHED
+
+
+class TestRtxQueueTrimming:
+    def test_mid_segment_ack_trims_head(self):
+        """A middlebox-split segment can be half-acked: the head entry
+        must shrink, not confuse retransmission."""
+        net, client, server = make_tcp_pair()
+        sock, peer = established(net, client, server)
+        sock.send(b"A" * 1000)
+        # Before any ack returns, synthesize a mid-segment cumulative ack.
+        assert sock._rtx_queue
+        mid = Segment(
+            src=peer.local,
+            dst=sock.local,
+            seq=peer.iss + 1,
+            ack=sock._wire_seq(501),
+            flags=ACK,
+            window=0xFFFF,
+        )
+        sock.segment_arrives(mid)
+        head = sock._rtx_queue[0]
+        assert head.start == 501
+        assert len(head.payload) == 500
+
+    def test_sent_segment_length_property(self):
+        entry = SentSegment(10, 25, b"x" * 15, [], 0.0)
+        assert entry.length == 15
+
+
+class TestConfigSurface:
+    def test_custom_mss_respected_end_to_end(self):
+        net, client, server = make_tcp_pair()
+        payload = random_payload(30_000)
+        sizes = []
+        net.paths[0].add_tap(
+            lambda p, s, d: d == 1 and s.payload and sizes.append(len(s.payload))
+        )
+        tcp_transfer(
+            net, client, server, payload, client_config=TCPConfig(mss=700)
+        )
+        assert max(sizes) <= 700
+
+    def test_connect_twice_rejected(self):
+        net, client, server = make_tcp_pair()
+        sock = TCPSocket(client)
+        sock.connect(Endpoint("10.9.0.1", 80))
+        with pytest.raises(RuntimeError):
+            sock.connect(Endpoint("10.9.0.1", 81))
+
+    def test_named_socket_repr(self):
+        net, client, server = make_tcp_pair()
+        sock = TCPSocket(client, name="probe")
+        assert "probe" in repr(sock)

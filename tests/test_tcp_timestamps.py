@@ -1,0 +1,120 @@
+"""Timestamps, RTT measurement on the wire, and FIN piggybacking."""
+
+import pytest
+
+from repro.net.options import TimestampsOption
+from repro.net.packet import Endpoint
+from repro.tcp.listener import Listener
+from repro.tcp.socket import TCPConfig, TCPSocket
+
+from conftest import make_tcp_pair, random_payload, tcp_transfer
+
+
+class TestTimestamps:
+    def test_every_post_handshake_segment_carries_timestamps(self):
+        net, client, server = make_tcp_pair()
+        missing = []
+        net.paths[0].add_tap(
+            lambda p, s, d: not s.rst
+            and s.find_option(TimestampsOption) is None
+            and missing.append(s.copy())
+        )
+        tcp_transfer(net, client, server, random_payload(50_000))
+        assert missing == []
+
+    def test_tsecr_echoes_peer_tsval(self):
+        net, client, server = make_tcp_pair()
+        echoes = []
+
+        def tap(path, seg, direction):
+            ts = seg.find_option(TimestampsOption)
+            if ts is not None and direction == -1 and ts.tsecr:
+                echoes.append(ts)
+
+        net.paths[0].add_tap(tap)
+        tcp_transfer(net, client, server, random_payload(20_000))
+        assert echoes
+        # Echoed values are plausible recent times, in microseconds.
+        final_us = int(net.now * 1_000_000)
+        assert all(0 < ts.tsecr <= final_us for ts in echoes)
+
+    def test_srtt_matches_path_rtt(self):
+        net, client, server = make_tcp_pair(delay=0.04, queue_bytes=10**6)
+        payload = random_payload(100_000)
+        result = tcp_transfer(net, client, server, payload)
+        # Base RTT 80 ms plus a little queueing/serialization.
+        assert 0.08 <= result.client.rtt.min_rtt <= 0.12
+
+    def test_rtt_sampling_without_timestamps(self):
+        net, client, server = make_tcp_pair(delay=0.04, queue_bytes=10**6)
+        payload = random_payload(100_000)
+        result = tcp_transfer(
+            net, client, server, payload,
+            client_config=TCPConfig(timestamps=False),
+            server_config=TCPConfig(timestamps=False),
+        )
+        assert result.client.rtt.samples > 0
+        assert 0.07 <= result.client.rtt.min_rtt <= 0.15
+
+
+class TestFinDetails:
+    def test_fin_piggybacks_on_last_data_segment(self):
+        net, client, server = make_tcp_pair()
+        fins = []
+        net.paths[0].add_tap(
+            lambda p, s, d: d == 1 and s.fin and fins.append(len(s.payload))
+        )
+        tcp_transfer(net, client, server, random_payload(10_000))
+        assert fins and fins[0] > 0  # FIN rode the final data segment
+
+    def test_fin_alone_when_buffer_already_flushed(self):
+        net, client, server = make_tcp_pair()
+        accepted = []
+        Listener(server, 80, on_accept=accepted.append)
+        sock = TCPSocket(client)
+        sock.connect(Endpoint("10.9.0.1", 80))
+        net.run(until=1.0)
+        sock.send(b"data")
+        net.run(until=2.0)  # fully acked
+        fins = []
+        net.paths[0].add_tap(
+            lambda p, s, d: d == 1 and s.fin and fins.append(len(s.payload))
+        )
+        sock.close()
+        net.run(until=3.0)
+        assert fins == [0]
+
+    def test_fin_retransmitted_when_lost(self):
+        net, client, server = make_tcp_pair()
+        state = {"dropped": 0}
+        path = net.paths[0]
+        original = path.link_fwd.deliver
+
+        def drop_first_fin(segment):
+            if segment.fin and state["dropped"] == 0:
+                state["dropped"] = 1
+                return
+            original(segment)
+
+        path.link_fwd.deliver = drop_first_fin
+        result = tcp_transfer(net, client, server, b"tail", duration=30)
+        assert state["dropped"] == 1
+        assert result.client.state.value == "CLOSED"
+        assert result.server.eof_seen
+
+    def test_window_probe_payload_is_one_byte(self):
+        net, client, server = make_tcp_pair()
+        accepted = []
+        Listener(
+            server, 80, config=TCPConfig(rcv_buf=8_000), on_accept=accepted.append
+        )
+        sock = TCPSocket(client)
+        sock.connect(Endpoint("10.9.0.1", 80))
+        net.run(until=1.0)
+        probes = []
+        net.paths[0].add_tap(
+            lambda p, s, d: d == 1 and len(s.payload) == 1 and probes.append(net.now)
+        )
+        sock.send(random_payload(40_000))  # fills the 8 KB window
+        net.run(until=8.0)
+        assert probes  # persist timer sent 1-byte probes

