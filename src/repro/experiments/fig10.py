@@ -18,6 +18,7 @@ from __future__ import annotations
 import time
 
 from repro.experiments.common import ExperimentResult
+from repro.experiments.runner import Point, run_parallel
 from repro.mptcp.connection import MPTCPConfig
 from repro.mptcp.manager import get_manager, make_server_factory
 from repro.mptcp.options import MPCapable
@@ -83,7 +84,7 @@ def _measure(
     return delays
 
 
-def run_fig10(attempts: int = 2000, seed: int = 10) -> ExperimentResult:
+def run_fig10(attempts: int = 2000, seed: int = 10, workers: int | None = None) -> ExperimentResult:
     result = ExperimentResult("Fig. 10 — SYN -> SYN/ACK processing delay (wall clock)")
     configurations = [
         ("tcp", False, 0, 0),
@@ -94,9 +95,21 @@ def run_fig10(attempts: int = 2000, seed: int = 10) -> ExperimentResult:
         # off the accept path.
         ("mptcp-keypool", True, 0, 10_000),
     ]
+    outcome = run_parallel(
+        "fig10",
+        [
+            Point(
+                _measure,
+                {"mptcp": mptcp, "preestablished": preestablished, "attempts": attempts,
+                 "seed": seed, "key_pool": key_pool},
+                label=label,
+            )
+            for label, mptcp, preestablished, key_pool in configurations
+        ],
+        workers=workers,
+    )
     pdfs = {}
-    for label, mptcp, preestablished, key_pool in configurations:
-        delays = _measure(mptcp, preestablished, attempts, seed, key_pool=key_pool)
+    for (label, mptcp, preestablished, key_pool), delays in zip(configurations, outcome.values):
         delays_us = sorted(d * 1e6 for d in delays)
         histogram = Histogram(bin_width=2.0)
         for value in delays_us:
@@ -110,6 +123,7 @@ def run_fig10(attempts: int = 2000, seed: int = 10) -> ExperimentResult:
             p90_us=delays_us[int(0.9 * (len(delays_us) - 1))],
         )
     result.notes["pdfs"] = pdfs
+    outcome.attach(result)
     return result
 
 

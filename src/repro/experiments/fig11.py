@@ -24,6 +24,7 @@ from __future__ import annotations
 from repro.apps.bonding import bond_interfaces
 from repro.apps.http import HTTPLoadGenerator, HTTPServerApp
 from repro.experiments.common import ExperimentResult
+from repro.experiments.runner import Point, run_parallel
 from repro.mptcp.api import connect as mptcp_connect
 from repro.mptcp.api import listen as mptcp_listen
 from repro.mptcp.connection import MPTCPConfig
@@ -125,16 +126,23 @@ def run_fig11(
     concurrency: int = 100,
     duration: float = 10.0,
     seed: int = 11,
+    workers: int | None = None,
 ) -> ExperimentResult:
     result = ExperimentResult("Fig. 11 — HTTP requests/s vs transfer size (100 clients)")
+    modes = (("tcp_rps", _run_tcp), ("bonding_rps", _run_bonding), ("mptcp_rps", _run_mptcp))
+    points = [
+        Point(fn, {"size": kb * 1024, "concurrency": concurrency, "duration": duration, "seed": seed})
+        for kb in sizes_kb
+        for _, fn in modes
+    ]
+    outcome = run_parallel("fig11", points, workers=workers)
+    values = iter(outcome.values)
     for kb in sizes_kb:
-        size = kb * 1024
-        result.add(
-            size_kb=kb,
-            tcp_rps=_run_tcp(size, concurrency, duration, seed),
-            bonding_rps=_run_bonding(size, concurrency, duration, seed),
-            mptcp_rps=_run_mptcp(size, concurrency, duration, seed),
-        )
+        row = {"size_kb": kb}
+        for column, _ in modes:
+            row[column] = next(values)
+        result.add(**row)
+    outcome.attach(result)
     return result
 
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from repro.apps.bulk import BulkReceiverApp, BulkSenderApp
 from repro.experiments.common import ExperimentResult, PathSpec, build_multipath_network
+from repro.experiments.runner import Point, run_parallel
 from repro.mptcp.api import connect as mptcp_connect
 from repro.mptcp.api import listen as mptcp_listen
 from repro.mptcp.connection import MPTCPConfig
@@ -67,26 +68,39 @@ def run_fig3(
     mss_sweep=DEFAULT_MSS_SWEEP,
     transfer_bytes: int = 2 * 1024 * 1024,
     seed: int = 3,
+    workers: int | None = None,
 ) -> ExperimentResult:
     result = ExperimentResult(
         "Fig. 3 — MPTCP goodput vs MSS, DSS checksum on/off (10 GbE, CPU-bound)"
     )
     model = CPUCostModel()
-    for mss in mss_sweep:
-        for checksum in (False, True):
-            transfer = _run_transfer(mss, checksum, transfer_bytes, seed)
-            cpu_rate = model.cpu_limited_goodput_bps(mss, checksummed=checksum)
-            wire_rate = LINE_RATE * transfer["wire_efficiency"]
-            goodput = min(cpu_rate, wire_rate)
-            result.add(
-                mss=mss,
-                checksum="on" if checksum else "off",
-                goodput_gbps=goodput / 1e9,
-                cpu_limited_gbps=cpu_rate / 1e9,
-                wire_limited_gbps=wire_rate / 1e9,
-                transfer_ok=transfer["received"] >= transfer_bytes,
-                checksums_verified=transfer["checksums_verified"],
+    grid = [(mss, checksum) for mss in mss_sweep for checksum in (False, True)]
+    outcome = run_parallel(
+        "fig3",
+        [
+            Point(
+                _run_transfer,
+                {"mss": mss, "checksum": checksum, "transfer_bytes": transfer_bytes, "seed": seed},
+                label=f"mss={mss} csum={checksum}",
             )
+            for mss, checksum in grid
+        ],
+        workers=workers,
+    )
+    for (mss, checksum), transfer in zip(grid, outcome.values):
+        cpu_rate = model.cpu_limited_goodput_bps(mss, checksummed=checksum)
+        wire_rate = LINE_RATE * transfer["wire_efficiency"]
+        goodput = min(cpu_rate, wire_rate)
+        result.add(
+            mss=mss,
+            checksum="on" if checksum else "off",
+            goodput_gbps=goodput / 1e9,
+            cpu_limited_gbps=cpu_rate / 1e9,
+            wire_limited_gbps=wire_rate / 1e9,
+            transfer_ok=transfer["received"] >= transfer_bytes,
+            checksums_verified=transfer["checksums_verified"],
+        )
+    outcome.attach(result)
     # Headline number: checksum penalty at jumbo frames.
     off = result.series("mss", "goodput_gbps", checksum="off")
     on = result.series("mss", "goodput_gbps", checksum="on")

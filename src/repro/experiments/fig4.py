@@ -23,34 +23,53 @@ from repro.experiments.common import (
     run_mptcp_bulk,
     run_tcp_bulk,
 )
+from repro.experiments.runner import Point, run_parallel
 
 DEFAULT_BUFFERS_KB = (50, 100, 200, 300, 500, 750, 1000)
 VARIANTS = ("regular", "m1", "m12")
+
+
+def _tcp_row(path, variant: str, buffer_kb: int, duration: float, seed: int) -> dict:
+    outcome = run_tcp_bulk(path, buffer_kb * 1024, duration, seed=seed)
+    return {"buffer_kb": buffer_kb, "variant": variant, "goodput_mbps": outcome.goodput_bps / 1e6}
+
+
+def _mptcp_row(variant: str, buffer_kb: int, duration: float, seed: int) -> dict:
+    config = mptcp_variant_config(variant, buffer_kb * 1024)
+    outcome = run_mptcp_bulk([WIFI, THREEG], config, duration, seed=seed)
+    return {
+        "buffer_kb": buffer_kb,
+        "variant": f"mptcp-{variant}",
+        "goodput_mbps": outcome.goodput_bps / 1e6,
+        "throughput_mbps": outcome.throughput_bps / 1e6,
+        "opportunistic": outcome.connection.scheduler.stats.opportunistic_retransmissions,
+        "penalizations": outcome.connection.scheduler.stats.penalizations,
+    }
 
 
 def run_fig4(
     buffers_kb=DEFAULT_BUFFERS_KB,
     duration: float = 25.0,
     seed: int = 4,
+    workers: int | None = None,
 ) -> ExperimentResult:
     result = ExperimentResult("Fig. 4 — throughput vs receive buffer (WiFi + 3G)")
+    points: list[Point] = []
     for kb in buffers_kb:
-        buffer_bytes = kb * 1024
-        tcp_wifi = run_tcp_bulk(WIFI, buffer_bytes, duration, seed=seed)
-        tcp_3g = run_tcp_bulk(THREEG, buffer_bytes, duration, seed=seed)
-        result.add(buffer_kb=kb, variant="tcp-wifi", goodput_mbps=tcp_wifi.goodput_bps / 1e6)
-        result.add(buffer_kb=kb, variant="tcp-3g", goodput_mbps=tcp_3g.goodput_bps / 1e6)
+        points.append(
+            Point(_tcp_row, {"path": WIFI, "variant": "tcp-wifi", "buffer_kb": kb, "duration": duration, "seed": seed})
+        )
+        points.append(
+            Point(_tcp_row, {"path": THREEG, "variant": "tcp-3g", "buffer_kb": kb, "duration": duration, "seed": seed})
+        )
         for variant in VARIANTS:
-            config = mptcp_variant_config(variant, buffer_bytes)
-            outcome = run_mptcp_bulk([WIFI, THREEG], config, duration, seed=seed)
-            result.add(
-                buffer_kb=kb,
-                variant=f"mptcp-{variant}",
-                goodput_mbps=outcome.goodput_bps / 1e6,
-                throughput_mbps=outcome.throughput_bps / 1e6,
-                opportunistic=outcome.connection.scheduler.stats.opportunistic_retransmissions,
-                penalizations=outcome.connection.scheduler.stats.penalizations,
+            points.append(
+                Point(_mptcp_row, {"variant": variant, "buffer_kb": kb, "duration": duration, "seed": seed})
             )
+    outcome = run_parallel("fig4", points, workers=workers)
+    for row in outcome.values:
+        result.add(**row)
+    outcome.attach(result)
     return result
 
 

@@ -21,42 +21,63 @@ from repro.experiments.common import (
     run_mptcp_bulk,
     run_tcp_bulk,
 )
+from repro.experiments.runner import Point, run_parallel
 
 DEFAULT_BUFFERS_KB = (100, 200, 400, 600, 800, 1200)
+
+
+def _mptcp_memory_row(label: str, variant: str, buffer_kb: int, duration: float, seed: int) -> dict:
+    config = mptcp_variant_config(variant, buffer_kb * 1024)
+    outcome = run_mptcp_bulk([WIFI, THREEG], config, duration, seed=seed, sample_memory=True)
+    return {
+        "buffer_kb": buffer_kb,
+        "variant": label,
+        "sender_memory_kb": outcome.tx_memory_avg / 1024,
+        "receiver_memory_kb": outcome.rx_memory_avg / 1024,
+        "goodput_mbps": outcome.goodput_bps / 1e6,
+    }
+
+
+def _tcp_memory_row(label: str, path, buffer_kb: int, duration: float, seed: int) -> dict:
+    outcome = run_tcp_bulk(
+        path, buffer_kb * 1024, duration, seed=seed, sample_memory=True, autotune=True
+    )
+    return {
+        "buffer_kb": buffer_kb,
+        "variant": label,
+        "sender_memory_kb": outcome.tx_memory_avg / 1024,
+        "receiver_memory_kb": outcome.rx_memory_avg / 1024,
+        "goodput_mbps": outcome.goodput_bps / 1e6,
+    }
 
 
 def run_fig5(
     buffers_kb=DEFAULT_BUFFERS_KB,
     duration: float = 25.0,
     seed: int = 5,
+    workers: int | None = None,
 ) -> ExperimentResult:
     result = ExperimentResult("Fig. 5 — memory use vs configured receive buffer")
+    points: list[Point] = []
     for kb in buffers_kb:
-        buffer_bytes = kb * 1024
         for label, variant in (("mptcp-m123", "m123"), ("mptcp-m1234", "m1234")):
-            config = mptcp_variant_config(variant, buffer_bytes)
-            outcome = run_mptcp_bulk(
-                [WIFI, THREEG], config, duration, seed=seed, sample_memory=True
-            )
-            result.add(
-                buffer_kb=kb,
-                variant=label,
-                sender_memory_kb=outcome.tx_memory_avg / 1024,
-                receiver_memory_kb=outcome.rx_memory_avg / 1024,
-                goodput_mbps=outcome.goodput_bps / 1e6,
+            points.append(
+                Point(
+                    _mptcp_memory_row,
+                    {"label": label, "variant": variant, "buffer_kb": kb, "duration": duration, "seed": seed},
+                )
             )
         for label, path in (("tcp-wifi", WIFI), ("tcp-3g", THREEG)):
-            outcome = run_tcp_bulk(
-                path, buffer_bytes, duration, seed=seed, sample_memory=True,
-                autotune=True,
+            points.append(
+                Point(
+                    _tcp_memory_row,
+                    {"label": label, "path": path, "buffer_kb": kb, "duration": duration, "seed": seed},
+                )
             )
-            result.add(
-                buffer_kb=kb,
-                variant=label,
-                sender_memory_kb=outcome.tx_memory_avg / 1024,
-                receiver_memory_kb=outcome.rx_memory_avg / 1024,
-                goodput_mbps=outcome.goodput_bps / 1e6,
-            )
+    outcome = run_parallel("fig5", points, workers=workers)
+    for row in outcome.values:
+        result.add(**row)
+    outcome.attach(result)
     return result
 
 

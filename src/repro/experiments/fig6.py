@@ -25,6 +25,7 @@ from repro.experiments.common import (
     run_mptcp_bulk,
     run_tcp_bulk,
 )
+from repro.experiments.runner import Point, run_parallel
 
 # Paper: 1 Gb/s + 100 Mb/s. Scaled 10x down (see module docstring).
 FAST_WIRED = PathSpec(rate_bps=100e6, rtt=0.010, buffer_seconds=0.02, name="wired-fast")
@@ -39,64 +40,104 @@ PANEL_A_BUFFERS_KB = (50, 100, 200, 400, 800, 1500)
 PANEL_BC_BUFFERS_KB = (64, 128, 256, 512, 1024, 1600)
 
 
-def run_panel_a(buffers_kb=PANEL_A_BUFFERS_KB, duration: float = 30.0, seed: int = 6):
+def _tcp_goodput_row(path, variant: str, buffer_kb: int, duration: float, seed: int, warmup: float) -> dict:
+    outcome = run_tcp_bulk(path, buffer_kb * 1024, duration, seed=seed, warmup=warmup)
+    return {"buffer_kb": buffer_kb, "variant": variant, "goodput_mbps": outcome.goodput_bps / 1e6}
+
+
+def _mptcp_goodput_row(paths, variant: str, buffer_kb: int, duration: float, seed: int, warmup: float) -> dict:
+    config = mptcp_variant_config(variant, buffer_kb * 1024)
+    outcome = run_mptcp_bulk(paths, config, duration, seed=seed, warmup=warmup)
+    return {
+        "buffer_kb": buffer_kb,
+        "variant": f"mptcp-{variant}",
+        "goodput_mbps": outcome.goodput_bps / 1e6,
+    }
+
+
+def _run_panel(
+    name: str,
+    title: str,
+    tcp_baselines,  # [(variant, path)]
+    mptcp_paths,
+    buffers_kb,
+    duration: float,
+    seed: int,
+    warmup: float,
+    workers: int | None,
+) -> ExperimentResult:
+    result = ExperimentResult(title)
+    points: list[Point] = []
+    for kb in buffers_kb:
+        for variant, path in tcp_baselines:
+            points.append(
+                Point(
+                    _tcp_goodput_row,
+                    {"path": path, "variant": variant, "buffer_kb": kb,
+                     "duration": duration, "seed": seed, "warmup": warmup},
+                )
+            )
+        for variant in ("regular", "m12"):
+            points.append(
+                Point(
+                    _mptcp_goodput_row,
+                    {"paths": tuple(mptcp_paths), "variant": variant, "buffer_kb": kb,
+                     "duration": duration, "seed": seed, "warmup": warmup},
+                )
+            )
+    outcome = run_parallel(name, points, workers=workers)
+    for row in outcome.values:
+        result.add(**row)
+    outcome.attach(result)
+    return result
+
+
+def run_panel_a(buffers_kb=PANEL_A_BUFFERS_KB, duration: float = 30.0, seed: int = 6,
+                workers: int | None = None):
     """WiFi + lossy 50 kb/s 3G."""
-    result = ExperimentResult("Fig. 6a — WiFi + very poor 3G (50 kb/s)")
-    paths = [WIFI, LOSSY_3G]
-    for kb in buffers_kb:
-        buffer_bytes = kb * 1024
-        tcp_wifi = run_tcp_bulk(WIFI, buffer_bytes, duration, seed=seed)
-        tcp_3g = run_tcp_bulk(LOSSY_3G, buffer_bytes, duration, seed=seed)
-        result.add(buffer_kb=kb, variant="tcp-wifi", goodput_mbps=tcp_wifi.goodput_bps / 1e6)
-        result.add(buffer_kb=kb, variant="tcp-3g", goodput_mbps=tcp_3g.goodput_bps / 1e6)
-        for variant in ("regular", "m12"):
-            config = mptcp_variant_config(variant, buffer_bytes)
-            outcome = run_mptcp_bulk(paths, config, duration, seed=seed)
-            result.add(
-                buffer_kb=kb,
-                variant=f"mptcp-{variant}",
-                goodput_mbps=outcome.goodput_bps / 1e6,
-            )
-    return result
+    return _run_panel(
+        "fig6a",
+        "Fig. 6a — WiFi + very poor 3G (50 kb/s)",
+        [("tcp-wifi", WIFI), ("tcp-3g", LOSSY_3G)],
+        [WIFI, LOSSY_3G],
+        buffers_kb,
+        duration,
+        seed,
+        warmup=2.0,
+        workers=workers,
+    )
 
 
-def run_panel_b(buffers_kb=PANEL_BC_BUFFERS_KB, duration: float = 15.0, seed: int = 6):
+def run_panel_b(buffers_kb=PANEL_BC_BUFFERS_KB, duration: float = 15.0, seed: int = 6,
+                workers: int | None = None):
     """Fast + slow wired links (scaled from 1 Gb/s + 100 Mb/s)."""
-    result = ExperimentResult("Fig. 6b — asymmetric wired links (scaled 100+10 Mb/s)")
-    paths = [FAST_WIRED, SLOW_WIRED]
-    for kb in buffers_kb:
-        buffer_bytes = kb * 1024
-        fast = run_tcp_bulk(FAST_WIRED, buffer_bytes, duration, seed=seed, warmup=1.0)
-        slow = run_tcp_bulk(SLOW_WIRED, buffer_bytes, duration, seed=seed, warmup=1.0)
-        result.add(buffer_kb=kb, variant="tcp-fast", goodput_mbps=fast.goodput_bps / 1e6)
-        result.add(buffer_kb=kb, variant="tcp-slow", goodput_mbps=slow.goodput_bps / 1e6)
-        for variant in ("regular", "m12"):
-            config = mptcp_variant_config(variant, buffer_bytes)
-            outcome = run_mptcp_bulk(paths, config, duration, seed=seed, warmup=1.0)
-            result.add(
-                buffer_kb=kb,
-                variant=f"mptcp-{variant}",
-                goodput_mbps=outcome.goodput_bps / 1e6,
-            )
-    return result
+    return _run_panel(
+        "fig6b",
+        "Fig. 6b — asymmetric wired links (scaled 100+10 Mb/s)",
+        [("tcp-fast", FAST_WIRED), ("tcp-slow", SLOW_WIRED)],
+        [FAST_WIRED, SLOW_WIRED],
+        buffers_kb,
+        duration,
+        seed,
+        warmup=1.0,
+        workers=workers,
+    )
 
 
-def run_panel_c(buffers_kb=PANEL_BC_BUFFERS_KB, duration: float = 15.0, seed: int = 6):
+def run_panel_c(buffers_kb=PANEL_BC_BUFFERS_KB, duration: float = 15.0, seed: int = 6,
+                workers: int | None = None):
     """Three identical links: the mechanisms should not matter."""
-    result = ExperimentResult("Fig. 6c — three symmetric links (scaled 3x100 Mb/s)")
-    for kb in buffers_kb:
-        buffer_bytes = kb * 1024
-        tcp = run_tcp_bulk(SYMMETRIC[0], buffer_bytes, duration, seed=seed, warmup=1.0)
-        result.add(buffer_kb=kb, variant="tcp-one-link", goodput_mbps=tcp.goodput_bps / 1e6)
-        for variant in ("regular", "m12"):
-            config = mptcp_variant_config(variant, buffer_bytes)
-            outcome = run_mptcp_bulk(SYMMETRIC, config, duration, seed=seed, warmup=1.0)
-            result.add(
-                buffer_kb=kb,
-                variant=f"mptcp-{variant}",
-                goodput_mbps=outcome.goodput_bps / 1e6,
-            )
-    return result
+    return _run_panel(
+        "fig6c",
+        "Fig. 6c — three symmetric links (scaled 3x100 Mb/s)",
+        [("tcp-one-link", SYMMETRIC[0])],
+        SYMMETRIC,
+        buffers_kb,
+        duration,
+        seed,
+        warmup=1.0,
+        workers=workers,
+    )
 
 
 def check_claims(panel_a, panel_b, panel_c) -> dict[str, bool]:

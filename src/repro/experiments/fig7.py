@@ -22,6 +22,7 @@ from repro.experiments.common import (
     build_multipath_network,
     mptcp_variant_config,
 )
+from repro.experiments.runner import Point, run_parallel
 from repro.mptcp.api import connect as mptcp_connect
 from repro.mptcp.api import listen as mptcp_listen
 from repro.net.packet import Endpoint
@@ -65,14 +66,23 @@ def _tcp_delays(path, duration: float, seed: int) -> list[float]:
     return probe.delays
 
 
-def run_fig7(duration: float = 30.0, seed: int = 7, bin_ms: float = 25.0) -> ExperimentResult:
+def run_fig7(
+    duration: float = 30.0, seed: int = 7, bin_ms: float = 25.0, workers: int | None = None
+) -> ExperimentResult:
     result = ExperimentResult("Fig. 7 — app-level block latency PDF (8 KB blocks, 200 KB buffer)")
-    series = {
-        "tcp-wifi": _tcp_delays(WIFI, duration, seed),
-        "tcp-3g": _tcp_delays(THREEG, duration, seed),
-        "mptcp-regular": _mptcp_delays("regular", duration, seed),
-        "mptcp-m12": _mptcp_delays("m12", duration, seed),
-    }
+    labels = ("tcp-wifi", "tcp-3g", "mptcp-regular", "mptcp-m12")
+    outcome = run_parallel(
+        "fig7",
+        [
+            Point(_tcp_delays, {"path": WIFI, "duration": duration, "seed": seed}),
+            Point(_tcp_delays, {"path": THREEG, "duration": duration, "seed": seed}),
+            Point(_mptcp_delays, {"variant": "regular", "duration": duration, "seed": seed}),
+            Point(_mptcp_delays, {"variant": "m12", "duration": duration, "seed": seed}),
+        ],
+        workers=workers,
+    )
+    series = dict(zip(labels, outcome.values))
+    outcome.attach(result)
     for variant, delays in series.items():
         if not delays:
             result.add(variant=variant, blocks=0)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from repro.apps.bulk import BulkSenderApp
 from repro.experiments.common import ExperimentResult, PathSpec, build_multipath_network
+from repro.experiments.runner import Point, run_parallel
 from repro.mptcp.api import connect as mptcp_connect
 from repro.mptcp.api import listen as mptcp_listen
 from repro.mptcp.connection import MPTCPConfig
@@ -97,21 +98,32 @@ def _tcp_baseline() -> float:
 
 
 def run_fig8(
-    subflow_counts=(2, 8), duration: float = 8.0, seed: int = 8
+    subflow_counts=(2, 8), duration: float = 8.0, seed: int = 8, workers: int | None = None
 ) -> ExperimentResult:
     result = ExperimentResult("Fig. 8 — receiver CPU load by ooo algorithm")
     result.notes["tcp_baseline_pct"] = _tcp_baseline()
-    for subflows in subflow_counts:
-        for algorithm in ALGORITHMS:
-            run = _run(algorithm, subflows, duration, seed)
-            result.add(
-                subflows=subflows,
-                algorithm=algorithm,
-                utilization_pct=run["utilization_pct"],
-                ops_per_insert=run["ops_per_insert"],
-                shortcut_hit_rate=run["shortcut_hit_rate"],
-                ooo_inserts=run["inserts"],
+    grid = [(subflows, algorithm) for subflows in subflow_counts for algorithm in ALGORITHMS]
+    outcome = run_parallel(
+        "fig8",
+        [
+            Point(
+                _run,
+                {"algorithm": algorithm, "subflows": subflows, "duration": duration, "seed": seed},
             )
+            for subflows, algorithm in grid
+        ],
+        workers=workers,
+    )
+    for (subflows, algorithm), run in zip(grid, outcome.values):
+        result.add(
+            subflows=subflows,
+            algorithm=algorithm,
+            utilization_pct=run["utilization_pct"],
+            ops_per_insert=run["ops_per_insert"],
+            shortcut_hit_rate=run["shortcut_hit_rate"],
+            ooo_inserts=run["inserts"],
+        )
+    outcome.attach(result)
     return result
 
 

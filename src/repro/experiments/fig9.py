@@ -25,6 +25,7 @@ from repro.experiments.common import (
     run_mptcp_bulk,
     run_tcp_bulk,
 )
+from repro.experiments.runner import Point, run_parallel
 from repro.middlebox import NAT
 from repro.net.network import Network
 
@@ -86,24 +87,44 @@ def _mptcp_with_nat(buffer_bytes: int, duration: float, seed: int):
     return meter.rate_bps(), conn
 
 
+def _tcp_row(path, variant: str, buffer_kb: int, duration: float, seed: int) -> dict:
+    outcome = run_tcp_bulk(path, buffer_kb * 1024, duration, seed=seed)
+    return {"buffer_kb": buffer_kb, "variant": variant, "goodput_mbps": outcome.goodput_bps / 1e6}
+
+
+def _mptcp_nat_row(buffer_kb: int, duration: float, seed: int) -> dict:
+    mptcp_bps, conn = _mptcp_with_nat(buffer_kb * 1024, duration, seed)
+    return {
+        "buffer_kb": buffer_kb,
+        "variant": "mptcp",
+        "goodput_mbps": mptcp_bps / 1e6,
+        "subflows": sum(1 for s in conn.subflows if not s.failed),
+        "fallback": conn.fallback,
+    }
+
+
 def run_fig9(
-    buffers_kb=DEFAULT_BUFFERS_KB, duration: float = 25.0, seed: int = 9
+    buffers_kb=DEFAULT_BUFFERS_KB, duration: float = 25.0, seed: int = 9,
+    workers: int | None = None,
 ) -> ExperimentResult:
     result = ExperimentResult("Fig. 9 — real-world 3G + capped WiFi (both 2 Mb/s)")
+    points: list[Point] = []
     for kb in buffers_kb:
-        buffer_bytes = kb * 1024
-        wifi = run_tcp_bulk(WIFI_CAPPED, buffer_bytes, duration, seed=seed)
-        threeg = run_tcp_bulk(REAL_3G, buffer_bytes, duration, seed=seed)
-        mptcp_bps, conn = _mptcp_with_nat(buffer_bytes, duration, seed)
-        result.add(buffer_kb=kb, variant="tcp-wifi", goodput_mbps=wifi.goodput_bps / 1e6)
-        result.add(buffer_kb=kb, variant="tcp-3g", goodput_mbps=threeg.goodput_bps / 1e6)
-        result.add(
-            buffer_kb=kb,
-            variant="mptcp",
-            goodput_mbps=mptcp_bps / 1e6,
-            subflows=sum(1 for s in conn.subflows if not s.failed),
-            fallback=conn.fallback,
+        points.append(
+            Point(_tcp_row, {"path": WIFI_CAPPED, "variant": "tcp-wifi", "buffer_kb": kb,
+                             "duration": duration, "seed": seed})
         )
+        points.append(
+            Point(_tcp_row, {"path": REAL_3G, "variant": "tcp-3g", "buffer_kb": kb,
+                             "duration": duration, "seed": seed})
+        )
+        points.append(
+            Point(_mptcp_nat_row, {"buffer_kb": kb, "duration": duration, "seed": seed})
+        )
+    outcome = run_parallel("fig9", points, workers=workers)
+    for row in outcome.values:
+        result.add(**row)
+    outcome.attach(result)
     return result
 
 

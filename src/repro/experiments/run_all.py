@@ -22,6 +22,18 @@ def _section(title: str, body: str) -> str:
     return f"## {title}\n\n```\n{body}\n```\n"
 
 
+def _perf_line(result) -> str:
+    """One line per sweep: wall clock, cache behaviour, events/sec."""
+    sweep = result.notes.get("sweep")
+    if not sweep:
+        return ""
+    return (
+        f"\nsweep: {sweep['points']} points, {sweep['cache_hits']} cached, "
+        f"{sweep['workers']} worker(s), {sweep['wall_clock_s']:.2f}s wall, "
+        f"{sweep['events_per_sec']:,.0f} events/s"
+    )
+
+
 def _claims_line(claims: dict) -> str:
     return "\n".join(
         f"  claim {name}: {'PASS' if ok else 'FAIL'}" for name, ok in claims.items()
@@ -40,7 +52,7 @@ def run_all() -> str:
         result = table_study.run_table_study(port80=port80)
         claims = table_study.check_claims(result)
         sections.append(
-            _section(result.name, result.format_table() + "\n" + _claims_line(claims))
+            _section(result.name, result.format_table() + _perf_line(result) + "\n" + _claims_line(claims))
         )
 
     note("Fig. 3")
@@ -49,32 +61,33 @@ def run_all() -> str:
         _section(
             result.name,
             result.format_table(["mss", "checksum", "goodput_gbps"])
-            + f"\njumbo penalty: {result.notes['jumbo_penalty_pct']:.1f}%",
+            + f"\njumbo penalty: {result.notes['jumbo_penalty_pct']:.1f}%"
+            + _perf_line(result),
         )
     )
 
     note("Fig. 4")
     result = fig4.run_fig4()
     sections.append(
-        _section(result.name, result.format_table() + "\n" + _claims_line(fig4.check_claims(result)))
+        _section(result.name, result.format_table() + _perf_line(result) + "\n" + _claims_line(fig4.check_claims(result)))
     )
 
     note("Fig. 5")
     result = fig5.run_fig5()
     sections.append(
-        _section(result.name, result.format_table() + "\n" + _claims_line(fig5.check_claims(result)))
+        _section(result.name, result.format_table() + _perf_line(result) + "\n" + _claims_line(fig5.check_claims(result)))
     )
 
     note("Fig. 6 (three panels)")
     panel_a, panel_b, panel_c = fig6.run_panel_a(), fig6.run_panel_b(), fig6.run_panel_c()
     claims = fig6.check_claims(panel_a, panel_b, panel_c)
-    body = "\n\n".join(p.format_table() for p in (panel_a, panel_b, panel_c))
+    body = "\n\n".join(p.format_table() + _perf_line(p) for p in (panel_a, panel_b, panel_c))
     sections.append(_section("Fig. 6 — panels a/b/c", body + "\n" + _claims_line(claims)))
 
     note("Fig. 7")
     result = fig7.run_fig7()
     sections.append(
-        _section(result.name, result.format_table() + "\n" + _claims_line(fig7.check_claims(result)))
+        _section(result.name, result.format_table() + _perf_line(result) + "\n" + _claims_line(fig7.check_claims(result)))
     )
 
     note("Fig. 8")
@@ -83,7 +96,8 @@ def run_all() -> str:
         _section(
             result.name,
             result.format_table()
-            + f"\nTCP baseline: {result.notes['tcp_baseline_pct']:.1f}%\n"
+            + f"\nTCP baseline: {result.notes['tcp_baseline_pct']:.1f}%"
+            + _perf_line(result) + "\n"
             + _claims_line(fig8.check_claims(result)),
         )
     )
@@ -91,19 +105,19 @@ def run_all() -> str:
     note("Fig. 9")
     result = fig9.run_fig9()
     sections.append(
-        _section(result.name, result.format_table() + "\n" + _claims_line(fig9.check_claims(result)))
+        _section(result.name, result.format_table() + _perf_line(result) + "\n" + _claims_line(fig9.check_claims(result)))
     )
 
     note("Fig. 10")
     result = fig10.run_fig10()
     sections.append(
-        _section(result.name, result.format_table() + "\n" + _claims_line(fig10.check_claims(result)))
+        _section(result.name, result.format_table() + _perf_line(result) + "\n" + _claims_line(fig10.check_claims(result)))
     )
 
     note("Fig. 11")
     result = fig11.run_fig11()
     sections.append(
-        _section(result.name, result.format_table() + "\n" + _claims_line(fig11.check_claims(result)))
+        _section(result.name, result.format_table() + _perf_line(result) + "\n" + _claims_line(fig11.check_claims(result)))
     )
 
     sections.append(f"\n_total wall time: {time.time()-started:.0f}s_\n")

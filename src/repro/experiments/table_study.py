@@ -28,6 +28,7 @@ def run_table_study(
     sample: Optional[int] = None,
     seed: int = 2012,
     include_strawman: bool = True,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """``sample`` limits the number of paths (for quick CI runs); None
     runs the full 142."""
@@ -37,7 +38,7 @@ def run_table_study(
         # Deterministic stratified-ish subsample: keep every k-th.
         step = max(1, len(profiles) // sample)
         profiles = profiles[::step][:sample]
-    study = run_study(profiles, include_strawman=include_strawman)
+    study = run_study(profiles, include_strawman=include_strawman, workers=workers)
     summary = study.summary()
     column = "port 80" if port80 else "other ports"
     result = ExperimentResult(f"§3 middlebox study ({column}, {len(profiles)} paths)")
@@ -75,6 +76,8 @@ def run_table_study(
         )
     result.notes["summary"] = summary
     result.notes["behaviour_rates"] = rates
+    if study.sweep_perf is not None:
+        result.notes["sweep"] = study.sweep_perf
     return result
 
 

@@ -67,7 +67,8 @@ class Segment:
         "ack",
         "flags",
         "window",
-        "options",
+        "_options",
+        "_options_len_cache",
         "payload",
         "created_at",
     )
@@ -90,9 +91,19 @@ class Segment:
         self.ack = ack % SEQ_MOD
         self.flags = flags
         self.window = window
-        self.options: list["TCPOption"] = options if options is not None else []
+        self._options: list["TCPOption"] = options if options is not None else []
+        self._options_len_cache: Optional[tuple[int, int]] = None
         self.payload = payload
         self.created_at = created_at
+
+    @property
+    def options(self) -> list["TCPOption"]:
+        return self._options
+
+    @options.setter
+    def options(self, options: list["TCPOption"]) -> None:
+        self._options = options
+        self._options_len_cache = None
 
     # ------------------------------------------------------------------
     # Flag helpers
@@ -129,10 +140,22 @@ class Segment:
         return (self.seq + self.seq_space) % SEQ_MOD
 
     def options_length(self) -> int:
-        """Encoded (padded) length of the option list in bytes."""
+        """Encoded (padded) length of the option list in bytes.
+
+        Cached: links recompute packet sizes on every hop, so encoding
+        the (immutable) options repeatedly dominated the link hot path.
+        Replacing the list (the `options` setter, :meth:`remove_options`)
+        or changing its length in place invalidates the cache.
+        """
+        cache = self._options_len_cache
+        count = len(self._options)
+        if cache is not None and cache[0] == count:
+            return cache[1]
         from repro.net.options import options_length
 
-        return options_length(self.options)
+        length = options_length(self._options)
+        self._options_len_cache = (count, length)
+        return length
 
     @property
     def size_bytes(self) -> int:

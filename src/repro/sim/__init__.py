@@ -7,7 +7,7 @@ deterministic (ties broken by insertion order) so every experiment is
 exactly reproducible from its seed.
 """
 
-from repro.sim.engine import Event, Simulator, Timer
+from repro.sim.engine import Event, Simulator, Timer, events_run_total
 from repro.sim.rng import SeededRNG
 
-__all__ = ["Event", "Simulator", "Timer", "SeededRNG"]
+__all__ = ["Event", "Simulator", "Timer", "SeededRNG", "events_run_total"]

@@ -7,6 +7,10 @@ Design notes
   they were scheduled, which keeps runs reproducible.
 * Cancellation is lazy: :meth:`Event.cancel` marks the event and the main
   loop skips it when popped.  This is O(1) and avoids re-heapifying.
+* A live (non-cancelled) counter makes :attr:`Simulator.pending` O(1),
+  and when cancelled corpses dominate the heap (per-ACK RTO restarts on
+  long transfers leave a trail of them) the queue is compacted in one
+  O(n) pass rather than popped one by one.
 * :class:`Timer` is a restartable one-shot timer built on top of lazy
   cancellation; TCP retransmission and delayed-ACK timers use it.
 """
@@ -16,11 +20,21 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Optional
 
+# Process-wide count of events executed by every Simulator instance.
+# The sweep runner samples it around each experiment point to report
+# simulator throughput (events/sec); it is monotonic and never reset.
+_EVENTS_RUN_TOTAL = 0
+
+
+def events_run_total() -> int:
+    """Events executed by all simulators in this process so far."""
+    return _EVENTS_RUN_TOTAL
+
 
 class Event:
     """A scheduled callback.  Returned by :meth:`Simulator.schedule`."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
 
     def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
         self.time = time
@@ -28,10 +42,16 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._sim: Optional["Simulator"] = None
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Safe to call more than once."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._on_cancel()
+            self._sim = None
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -55,11 +75,16 @@ class Simulator:
     ['b', 'a']
     """
 
+    # Compaction: rebuild the heap once cancelled events outnumber live
+    # ones and the queue is big enough for the O(n) pass to pay off.
+    _COMPACT_MIN_SIZE = 64
+
     def __init__(self) -> None:
         self.now: float = 0.0
         self._queue: list[Event] = []
         self._seq: int = 0
         self._events_run: int = 0
+        self._live: int = 0  # queued events that are not cancelled
         self._running: bool = False
 
     # ------------------------------------------------------------------
@@ -76,9 +101,20 @@ class Simulator:
         if time < self.now:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
         event = Event(time, self._seq, fn, args)
+        event._sim = self
         self._seq += 1
+        self._live += 1
         heapq.heappush(self._queue, event)
         return event
+
+    def _on_cancel(self) -> None:
+        """Bookkeeping for :meth:`Event.cancel`; compacts the heap when
+        cancelled corpses make up more than half of a large queue."""
+        self._live -= 1
+        queue = self._queue
+        if len(queue) >= self._COMPACT_MIN_SIZE and self._live * 2 < len(queue):
+            self._queue = [e for e in queue if not e.cancelled]
+            heapq.heapify(self._queue)
 
     def call_soon(self, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at the current time, after pending events."""
@@ -90,6 +126,7 @@ class Simulator:
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run events until the queue drains, ``until`` is reached, or
         ``max_events`` events have executed."""
+        global _EVENTS_RUN_TOTAL
         self._running = True
         executed = 0
         try:
@@ -102,6 +139,8 @@ class Simulator:
                     self.now = until
                     break
                 heapq.heappop(self._queue)
+                self._live -= 1
+                event._sim = None
                 self.now = event.time
                 event.fn(*event.args)
                 self._events_run += 1
@@ -113,23 +152,28 @@ class Simulator:
                     self.now = until
         finally:
             self._running = False
+            _EVENTS_RUN_TOTAL += executed
 
     def step(self) -> bool:
         """Run a single event.  Returns False when the queue is empty."""
+        global _EVENTS_RUN_TOTAL
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
                 continue
+            self._live -= 1
+            event._sim = None
             self.now = event.time
             event.fn(*event.args)
             self._events_run += 1
+            _EVENTS_RUN_TOTAL += 1
             return True
         return False
 
     @property
     def pending(self) -> int:
-        """Number of queued, non-cancelled events."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of queued, non-cancelled events.  O(1)."""
+        return self._live
 
     @property
     def events_run(self) -> int:

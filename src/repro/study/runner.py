@@ -61,6 +61,7 @@ class PathOutcome:
 @dataclass
 class StudyResult:
     outcomes: list[PathOutcome] = field(default_factory=list)
+    sweep_perf: Optional[dict] = None  # filled in by run_study
 
     def rate(self, predicate) -> float:
         if not self.outcomes:
@@ -189,21 +190,46 @@ def _run_strawman_case(profile: PathProfile, seed: int) -> tuple[bool, Optional[
     return _transfer_tcp(net, client, server, _TIMEOUT)
 
 
+def run_profile(
+    profile: PathProfile, seed: int = 99, include_strawman: bool = True
+) -> PathOutcome:
+    """All three transfers (TCP / MPTCP / strawman) over one profile.
+
+    A pure function of ``(profile, seed)``: the unit of work the
+    parallel sweep engine fans out across worker processes.
+    """
+    outcome = PathOutcome(profile=profile)
+    outcome.tcp_ok, outcome.tcp_time = _run_tcp_case(profile, seed + profile.index)
+    outcome.mptcp_ok, outcome.mptcp_multipath, outcome.mptcp_fallback = _run_mptcp_case(
+        profile, seed + 1000 + profile.index
+    )
+    if include_strawman:
+        outcome.strawman_completed, outcome.strawman_time = _run_strawman_case(
+            profile, seed + 2000 + profile.index
+        )
+    return outcome
+
+
 def run_study(
     profiles: list[PathProfile],
     seed: int = 99,
     include_strawman: bool = True,
+    workers: Optional[int] = None,
 ) -> StudyResult:
-    result = StudyResult()
-    for profile in profiles:
-        outcome = PathOutcome(profile=profile)
-        outcome.tcp_ok, outcome.tcp_time = _run_tcp_case(profile, seed + profile.index)
-        outcome.mptcp_ok, outcome.mptcp_multipath, outcome.mptcp_fallback = _run_mptcp_case(
-            profile, seed + 1000 + profile.index
-        )
-        if include_strawman:
-            outcome.strawman_completed, outcome.strawman_time = _run_strawman_case(
-                profile, seed + 2000 + profile.index
+    from repro.experiments.runner import Point, run_parallel
+
+    outcome = run_parallel(
+        "study",
+        [
+            Point(
+                run_profile,
+                {"profile": profile, "seed": seed, "include_strawman": include_strawman},
+                label=f"path{profile.index}",
             )
-        result.outcomes.append(outcome)
+            for profile in profiles
+        ],
+        workers=workers,
+    )
+    result = StudyResult(outcomes=list(outcome.values))
+    result.sweep_perf = outcome.perf.as_notes()
     return result

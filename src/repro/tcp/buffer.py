@@ -53,7 +53,12 @@ class ByteStream:
         if offset + length > self.tail:
             raise IndexError(f"range [{offset},{offset+length}) beyond tail {self.tail}")
         start = self._offset + (offset - self.head)
-        return bytes(self._buffer[start : start + length])
+        # A memoryview slice is zero-copy; only the final bytes() copies,
+        # halving the work of the bytearray-slice-then-bytes idiom.  The
+        # view must be released before returning: a live export pins the
+        # bytearray's size and would make the next append() blow up.
+        with memoryview(self._buffer) as view:
+            return bytes(view[start : start + length])
 
     def release_to(self, offset: int) -> None:
         """Free all bytes before ``offset`` (cumulative-ACK semantics)."""
@@ -146,18 +151,21 @@ class ReassemblyQueue:
         discarded.
         """
         pieces: list[bytes] = []
-        while self._starts:
-            start = self._starts[0]
-            block = self._blocks[start]
+        consumed = 0
+        for start in self._starts:
             if start > next_offset:
                 break
-            skip = next_offset - start
-            self._starts.pop(0)
-            del self._blocks[start]
+            block = self._blocks.pop(start)
+            consumed += 1
             self.buffered_bytes -= len(block)
+            skip = next_offset - start
             if skip < len(block):
                 pieces.append(block[skip:] if skip else block)
                 next_offset = start + len(block)
+        if consumed:
+            # One batch delete instead of pop(0) per block: draining a
+            # queue of n blocks is O(n), not O(n^2).
+            del self._starts[:consumed]
         return b"".join(pieces)
 
     def sack_blocks(self, max_blocks: int = 3) -> list[tuple[int, int]]:

@@ -1,0 +1,248 @@
+"""Unit tests for the single-sim hot-path fast paths.
+
+Each optimization has a behavioural contract this file pins down:
+
+* ``Simulator.pending`` is a live counter, not an O(n) scan — it must
+  agree with a brute-force count through schedule / cancel / run, and
+  double-cancel must not decrement twice;
+* the event heap compacts once cancelled events dominate (the
+  ``Timer.restart``-per-ACK churn pattern) without reordering anything;
+* ``ReassemblyQueue.extract_in_order`` drains a 1k-block queue without
+  ``pop(0)`` quadratics and returns exactly the contiguous prefix;
+* ``Segment.options_length`` is cached and the cache is invalidated by
+  every supported mutation path (setter, strip, in-place append) —
+  including reading the size *before* stripping.
+"""
+
+import pytest
+
+from repro.net.options import MSSOption, SACKPermitted, TimestampsOption, options_length
+from repro.net.packet import Endpoint, Segment
+from repro.sim.engine import Simulator, Timer, events_run_total
+from repro.tcp.buffer import ByteStream, ReassemblyQueue
+
+
+def brute_force_pending(sim: Simulator) -> int:
+    return sum(1 for e in sim._queue if not e.cancelled)
+
+
+class TestPendingCounter:
+    def test_matches_brute_force_through_lifecycle(self):
+        sim = Simulator()
+        events = [sim.schedule(0.1 * i, lambda: None) for i in range(10)]
+        assert sim.pending == brute_force_pending(sim) == 10
+        for event in events[::2]:
+            event.cancel()
+        assert sim.pending == brute_force_pending(sim) == 5
+        sim.run()
+        assert sim.pending == brute_force_pending(sim) == 0
+
+    def test_double_cancel_decrements_once(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        event.cancel()
+        assert sim.pending == 1
+
+    def test_cancel_after_fire_is_harmless(self):
+        sim = Simulator()
+        event = sim.schedule(0.5, lambda: None)
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=0.7)
+        assert sim.pending == 1
+        event.cancel()  # already executed; must not touch the counter
+        assert sim.pending == 1
+
+    def test_cancel_inside_callback(self):
+        sim = Simulator()
+        later = sim.schedule(2.0, lambda: None)
+        sim.schedule(1.0, later.cancel)
+        sim.run()
+        assert sim.pending == 0
+        assert sim.now == 1.0  # the cancelled event never advanced time
+
+    def test_step_keeps_counter_accurate(self):
+        sim = Simulator()
+        first = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        first.cancel()
+        assert sim.step() is True  # skips the corpse, runs the live one
+        assert sim.pending == brute_force_pending(sim) == 0
+
+    def test_timer_restart_churn_stays_consistent(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        for _ in range(500):
+            timer.restart(10.0)
+        assert sim.pending == 1
+        sim.run()
+        assert fired == [10.0]
+        assert sim.pending == 0
+
+
+class TestHeapCompaction:
+    def test_cancelled_majority_triggers_compaction(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i), lambda: None) for i in range(1000)]
+        for event in events[:900]:
+            event.cancel()
+        # Far fewer than 1000 entries should physically remain queued.
+        assert len(sim._queue) <= 2 * sim.pending + 1
+        assert sim.pending == 100
+
+    def test_compaction_preserves_execution_order(self):
+        sim = Simulator()
+        ran = []
+        keep = []
+        for i in range(200):
+            event = sim.schedule(float(i), ran.append, i)
+            if i % 3 == 0:
+                keep.append(i)
+            else:
+                event.cancel()
+        sim.run()
+        assert ran == keep
+
+    def test_small_queues_not_compacted(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i), lambda: None) for i in range(10)]
+        for event in events[:9]:
+            event.cancel()
+        assert len(sim._queue) == 10  # below threshold: lazy deletion only
+        assert sim.pending == 1
+
+    def test_events_run_total_is_monotonic(self):
+        before = events_run_total()
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert events_run_total() == before + 5
+
+
+class TestReassemblyDrain:
+    def test_thousand_block_drain_is_exact(self):
+        queue = ReassemblyQueue()
+        blocks = [bytes([i % 256]) * 7 for i in range(1000)]
+        # Insert in reverse so nothing merges on the way in.
+        offset_of = {}
+        offset = 0
+        for index, block in enumerate(blocks):
+            offset_of[index] = offset
+            offset += len(block) + 1  # 1-byte gaps keep blocks disjoint
+        for index in reversed(range(1000)):
+            queue.insert(offset_of[index], blocks[index])
+        assert queue.block_count == 1000
+        # Fill the gaps, then a single extract drains everything.
+        for index in range(999):
+            queue.insert(offset_of[index] + 7, b"\xff")
+        data = queue.extract_in_order(0)
+        expected = b"\xff".join(blocks)
+        assert data == expected
+        assert queue.block_count == 0
+        assert queue.buffered_bytes == 0
+
+    def test_thousand_stale_blocks_discarded_in_one_batch(self):
+        # The old pop(0)-per-block drain made this O(n^2): a burst of
+        # stale retransmissions below the cumulative ACK point.
+        queue = ReassemblyQueue()
+        for i in range(1000):
+            queue.insert(8 * i, b"0123456")  # 7B blocks, 1B gaps
+        assert queue.block_count == 1000
+        assert queue.extract_in_order(8 * 1000) == b""
+        assert queue.block_count == 0
+        assert queue.buffered_bytes == 0
+
+    def test_partial_drain_stops_at_gap(self):
+        queue = ReassemblyQueue()
+        queue.insert(0, b"abc")
+        queue.insert(3, b"def")
+        queue.insert(10, b"xyz")
+        assert queue.extract_in_order(0) == b"abcdef"
+        assert queue.block_count == 1
+        assert queue.buffered_bytes == 3
+
+    def test_stale_blocks_discarded(self):
+        queue = ReassemblyQueue()
+        queue.insert(0, b"old")
+        queue.insert(100, b"new")
+        assert queue.extract_in_order(50) == b""
+        assert queue.block_count == 1  # only the live block remains
+        assert queue.extract_in_order(100) == b"new"
+
+    def test_skip_within_first_block(self):
+        queue = ReassemblyQueue()
+        queue.insert(0, b"abcdef")
+        assert queue.extract_in_order(2) == b"cdef"
+        assert queue.buffered_bytes == 0
+
+
+class TestByteStreamPeek:
+    def test_peek_returns_immutable_bytes(self):
+        stream = ByteStream()
+        stream.append(b"hello world")
+        view = stream.peek(6, 5)
+        assert view == b"world"
+        assert isinstance(view, bytes)
+
+    def test_peek_then_append_is_safe(self):
+        # A leaked memoryview export would make this append() raise
+        # BufferError (exports pin a bytearray's size).
+        stream = ByteStream()
+        stream.append(b"abcdef")
+        assert stream.peek(0, 3) == b"abc"
+        stream.append(b"ghi")
+        assert stream.peek(6, 3) == b"ghi"
+
+    def test_peek_across_release_compaction(self):
+        stream = ByteStream()
+        chunk = bytes(range(256)) * 512  # 128 KB, beyond compact threshold
+        stream.append(chunk)
+        stream.release_to(100_000)
+        assert stream.peek(100_000, 10) == chunk[100_000:100_010]
+        stream.append(b"tail")
+        assert stream.peek(stream.tail - 4, 4) == b"tail"
+
+
+class TestOptionsLengthCache:
+    def _segment(self, options):
+        return Segment(
+            Endpoint("10.0.0.1", 1), Endpoint("10.0.0.2", 2), options=options
+        )
+
+    def test_cached_value_is_correct(self):
+        options = [MSSOption(1460), SACKPermitted()]
+        segment = self._segment(list(options))
+        assert segment.options_length() == options_length(options)
+        assert segment.options_length() == options_length(options)  # cached path
+
+    def test_strip_after_size_read(self):
+        segment = self._segment([MSSOption(1460), TimestampsOption(1, 2)])
+        fat = segment.size_bytes
+        removed = segment.remove_options(TimestampsOption)
+        assert removed == 1
+        assert segment.size_bytes == fat - 12  # 10B timestamps + 2B pad gone
+        assert segment.options_length() == options_length(segment.options)
+
+    def test_setter_invalidates(self):
+        segment = self._segment([MSSOption(1460)])
+        assert segment.options_length() == 4
+        segment.options = [MSSOption(1460), TimestampsOption(1, 2)]
+        assert segment.options_length() == options_length(segment.options)
+
+    def test_inplace_append_invalidates(self):
+        segment = self._segment([])
+        assert segment.options_length() == 0
+        segment.options.append(TimestampsOption(3, 4))
+        assert segment.options_length() == 12
+
+    def test_copy_does_not_share_cache_state(self):
+        segment = self._segment([MSSOption(1460)])
+        assert segment.size_bytes == 44
+        clone = segment.copy()
+        clone.options.append(TimestampsOption(5, 6))
+        assert clone.options_length() == 16
+        assert segment.options_length() == 4

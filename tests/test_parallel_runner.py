@@ -1,0 +1,186 @@
+"""The parallel sweep engine: determinism, caching, invalidation.
+
+The hard guarantees the figure reproductions rely on:
+
+* a parallel sweep's merged output is byte-identical to the serial run
+  (same seeds, same point order);
+* a warm cache returns an identical ``ExperimentResult`` without
+  re-simulating anything;
+* cache entries are keyed by the source fingerprint, so editing the
+  code orphans every stale entry at once.
+"""
+
+import pytest
+
+from repro.experiments import fig3, fig4
+from repro.experiments import runner as sweep_runner
+from repro.experiments.runner import Point, Sweep, run_parallel
+
+FIG3_KWARGS = dict(mss_sweep=(1448, 8500), transfer_bytes=128 * 1024)
+FIG4_KWARGS = dict(buffers_kb=(100,), duration=4.0)
+
+
+def _double(x):
+    return 2 * x
+
+
+def _record_pid(x):
+    import os
+
+    return (x, os.getpid())
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    return tmp_path / "cache"
+
+
+class TestOrderingAndParallelism:
+    def test_values_in_point_order(self, cache_dir):
+        out = run_parallel(
+            "t", [Point(_double, {"x": i}) for i in range(20)], workers=4, cache_dir=cache_dir
+        )
+        assert out.values == [2 * i for i in range(20)]
+
+    def test_work_really_fans_out_to_processes(self, cache_dir):
+        import os
+
+        out = run_parallel(
+            "t", [Point(_record_pid, {"x": i}) for i in range(8)], workers=4, cache_dir=cache_dir
+        )
+        pids = {pid for _, pid in out.values}
+        assert os.getpid() not in pids  # ran in workers, not in-process
+        assert [x for x, _ in out.values] == list(range(8))
+
+    def test_workers_one_is_in_process(self, cache_dir):
+        import os
+
+        out = run_parallel(
+            "t", [Point(_record_pid, {"x": 0})], workers=1, cache_dir=cache_dir
+        )
+        assert out.values[0][1] == os.getpid()
+        assert out.perf.workers == 1
+
+
+class TestSerialParallelEquivalence:
+    @pytest.fixture(autouse=True)
+    def cold_cache(self, monkeypatch):
+        # Disable the cache so the parallel run genuinely re-simulates
+        # in worker processes instead of replaying the serial results.
+        monkeypatch.setenv("REPRO_CACHE", "0")
+
+    def test_fig3_rows_identical(self):
+        serial = fig3.run_fig3(workers=1, **FIG3_KWARGS)
+        parallel = fig3.run_fig3(workers=3, **FIG3_KWARGS)
+        # repr is byte-exact on every value (incl. float bit patterns).
+        assert repr(serial.rows) == repr(parallel.rows)
+
+    def test_fig4_rows_identical(self):
+        serial = fig4.run_fig4(workers=1, **FIG4_KWARGS)
+        parallel = fig4.run_fig4(workers=3, **FIG4_KWARGS)
+        assert repr(serial.rows) == repr(parallel.rows)
+
+
+class TestCache:
+    def test_warm_cache_identical_result_and_no_resimulation(self, cache_dir, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        cold = fig3.run_fig3(workers=1, **FIG3_KWARGS)
+        assert cold.notes["sweep"]["cache_misses"] == len(cold.rows)
+        warm = fig3.run_fig3(workers=1, **FIG3_KWARGS)
+        assert warm.notes["sweep"]["cache_hits"] == len(warm.rows)
+        assert warm.notes["sweep"]["cache_misses"] == 0
+        assert warm.notes["sweep"]["sim_events"] == 0  # nothing re-simulated
+        assert repr(warm.rows) == repr(cold.rows)
+        assert warm.name == cold.name
+
+    def test_different_kwargs_different_entries(self, cache_dir):
+        first = run_parallel("t", [Point(_double, {"x": 1})], workers=1, cache_dir=cache_dir)
+        second = run_parallel("t", [Point(_double, {"x": 2})], workers=1, cache_dir=cache_dir)
+        assert first.perf.cache_misses == 1 and second.perf.cache_misses == 1
+        assert second.values == [4]
+
+    def test_sweep_name_partitions_the_cache(self, cache_dir):
+        run_parallel("a", [Point(_double, {"x": 1})], workers=1, cache_dir=cache_dir)
+        other = run_parallel("b", [Point(_double, {"x": 1})], workers=1, cache_dir=cache_dir)
+        assert other.perf.cache_misses == 1
+
+    def test_cache_disabled_always_runs(self, cache_dir):
+        for _ in range(2):
+            out = run_parallel(
+                "t", [Point(_double, {"x": 3})], workers=1, cache=False, cache_dir=cache_dir
+            )
+            assert out.perf.cache_misses == 1
+        assert not cache_dir.exists()  # nothing was ever written
+
+    def test_stale_entries_invalidated_on_fingerprint_change(self, cache_dir, monkeypatch):
+        points = [Point(_double, {"x": 5})]
+        monkeypatch.setattr(sweep_runner, "code_fingerprint", lambda: "fingerprint-one")
+        first = run_parallel("t", points, workers=1, cache_dir=cache_dir)
+        again = run_parallel("t", points, workers=1, cache_dir=cache_dir)
+        assert first.perf.cache_misses == 1 and again.perf.cache_hits == 1
+        # "Edit the code": the fingerprint changes, the old entry is stale.
+        monkeypatch.setattr(sweep_runner, "code_fingerprint", lambda: "fingerprint-two")
+        after_edit = run_parallel("t", points, workers=1, cache_dir=cache_dir)
+        assert after_edit.perf.cache_misses == 1
+        assert after_edit.values == [10]
+
+    def test_fingerprint_tracks_source_content(self, tmp_path):
+        tree = tmp_path / "pkg"
+        tree.mkdir()
+        (tree / "mod.py").write_text("A = 1\n")
+        first = sweep_runner.code_fingerprint(tree)
+        assert sweep_runner.code_fingerprint(tree) == first  # memoized, stable
+        sweep_runner._fingerprint_cache.clear()
+        (tree / "mod.py").write_text("A = 2\n")
+        assert sweep_runner.code_fingerprint(tree) != first
+
+    # "garbage\n" begins with the pickle GLOBAL opcode, so unpickling
+    # it raises ValueError rather than UnpicklingError — both must be
+    # treated as a plain miss.
+    @pytest.mark.parametrize("junk", [b"not a pickle", b"garbage\n", b""])
+    def test_corrupt_entry_is_ignored(self, cache_dir, junk):
+        out = run_parallel("t", [Point(_double, {"x": 7})], workers=1, cache_dir=cache_dir)
+        assert out.perf.cache_misses == 1
+        (entry,) = list(cache_dir.rglob("*.pkl"))
+        entry.write_bytes(junk)
+        rerun = run_parallel("t", [Point(_double, {"x": 7})], workers=1, cache_dir=cache_dir)
+        assert rerun.perf.cache_misses == 1
+        assert rerun.values == [14]
+
+    def test_clear_cache(self, cache_dir):
+        run_parallel("t", [Point(_double, {"x": 9})], workers=1, cache_dir=cache_dir)
+        assert sweep_runner.clear_cache(cache_dir) == 1
+        assert list(cache_dir.rglob("*.pkl")) == []
+
+
+class TestSweepAPI:
+    def test_sweep_collects_and_runs(self, cache_dir):
+        sweep = Sweep("demo", workers=1, cache=False, cache_dir=cache_dir)
+        for i in range(3):
+            sweep.add(_double, x=i)
+        out = sweep.run()
+        assert out.values == [0, 2, 4]
+        assert out.perf.points == 3
+
+    def test_perf_notes_attach(self, cache_dir):
+        from repro.experiments.common import ExperimentResult
+
+        out = run_parallel("t", [Point(_double, {"x": 1})], workers=1, cache_dir=cache_dir)
+        result = ExperimentResult("demo")
+        out.attach(result)
+        assert result.notes["sweep"]["points"] == 1
+        assert "events_per_sec" in result.notes["sweep"]
+
+    def test_env_workers_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert sweep_runner.default_workers() == 7
+        monkeypatch.setenv("REPRO_WORKERS", "bogus")
+        with pytest.raises(ValueError):
+            sweep_runner.default_workers()
+
+    def test_env_cache_toggle(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        assert not sweep_runner.cache_enabled_default()
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        assert sweep_runner.cache_enabled_default()
