@@ -12,15 +12,29 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.net.payload import Buffer, PayloadView
 from repro.stats.metrics import GoodputMeter
 
 _PATTERN = bytes(range(256)) * 256  # 64 KiB of repeating payload
+# Doubled once at module level: any offset phase + a full 64 KiB chunk
+# fits inside it, so pattern_bytes() is a zero-copy view for every send
+# and verify up to 64 KiB.  (It used to rebuild this 128 KiB buffer on
+# every call — one fresh allocation per chunk sent *and* per receiver
+# verify.)
+_PATTERN_DOUBLED = _PATTERN * 2
 
 
-def pattern_bytes(offset: int, length: int) -> bytes:
-    """Deterministic stream contents, addressable by offset."""
+def pattern_bytes(offset: int, length: int) -> Buffer:
+    """Deterministic stream contents, addressable by offset.
+
+    Returns a :class:`PayloadView` over the shared module-level pattern
+    buffer whenever the requested range fits (the common case: apps send
+    and verify in <= 64 KiB chunks); only oversized requests materialize.
+    """
     start = offset % 256
-    chunk = (_PATTERN * 2)[start : start + length]
+    if start + length <= len(_PATTERN_DOUBLED):
+        return PayloadView(_PATTERN_DOUBLED, start, length)
+    chunk = _PATTERN_DOUBLED[start : start + length]
     while len(chunk) < length:
         chunk += _PATTERN[: length - len(chunk)]
     return chunk

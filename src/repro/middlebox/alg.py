@@ -19,6 +19,7 @@ from __future__ import annotations
 from repro.net.options import SACKOption
 from repro.net.packet import SEQ_MOD, Endpoint, Segment
 from repro.net.path import FORWARD, PathElement
+from repro.net.payload import Buffer, as_bytes
 from repro.tcp.seq import seq_diff
 
 
@@ -72,10 +73,15 @@ class PayloadModifier(PathElement):
                 seen = self._seen.get(key)
                 fresh = seen is None or seq_diff(original_end, seen) > 0
                 if index >= 0 and fresh:
+                    # Mutation point: materialize the (possibly shared)
+                    # view before building modified content, so the
+                    # rewrite can never reach other holders of the
+                    # backing buffer.
+                    original = as_bytes(segment.payload)
                     segment.payload = (
-                        segment.payload[:index]
+                        original[:index]
                         + self.replacement
-                        + segment.payload[index + len(self.pattern) :]
+                        + original[index + len(self.pattern) :]
                     )
                     length_change = len(self.replacement) - len(self.pattern)
                     if length_change != 0:
@@ -115,12 +121,17 @@ class PayloadModifier(PathElement):
 
 class RetransmissionNormalizer(PathElement):
     """Caches forward payload by sequence range; a retransmission with
-    different content is overwritten with the original bytes."""
+    different content is overwritten with the original bytes.
+
+    Caching and re-asserting store payload *references* (views or
+    bytes) — content comparison and re-assertion are read-only, so the
+    normalizer never materializes anything.
+    """
 
     def __init__(self, cache_limit: int = 4 * 1024 * 1024, name: str = "Normalizer"):
         super().__init__(name)
         self.cache_limit = cache_limit
-        self._cache: dict[tuple[Endpoint, Endpoint], dict[int, bytes]] = {}
+        self._cache: dict[tuple[Endpoint, Endpoint], dict[int, Buffer]] = {}
         self._cached_bytes = 0
         self.normalized = 0
 

@@ -23,6 +23,7 @@ from typing import Optional
 from repro.net.options import fits_option_space
 from repro.net.packet import FIN, PSH, SEQ_MOD, Endpoint, Segment
 from repro.net.path import PathElement
+from repro.net.payload import as_bytes
 
 
 class SegmentSplitter(PathElement):
@@ -43,6 +44,9 @@ class SegmentSplitter(PathElement):
         payload = segment.payload
         offset = 0
         while offset < len(payload):
+            # A PayloadView slice is a zero-copy window: splitting never
+            # duplicates payload bytes, exactly like a real TSO NIC
+            # scattering one buffer across frames.
             chunk = payload[offset : offset + self.mss]
             is_last = offset + len(chunk) >= len(payload)
             flags = segment.flags
@@ -110,7 +114,11 @@ class SegmentCoalescer(PathElement):
                 and len(held_segment.payload) + len(segment.payload) <= self.max_size
                 and not held_segment.fin
             ):
-                held_segment.payload = held_segment.payload + segment.payload
+                # Mutation point: coalescing builds new content, so both
+                # sides materialize out of their shared backings here.
+                held_segment.payload = as_bytes(held_segment.payload) + as_bytes(
+                    segment.payload
+                )
                 held_segment.flags |= segment.flags & (FIN | PSH)
                 held_segment.ack = segment.ack
                 held_segment.window = segment.window

@@ -13,19 +13,34 @@ not a second pass.
 
 from __future__ import annotations
 
+from repro.net.payload import Buffer, as_memoryview
 
-def ones_complement_sum(data: bytes) -> int:
+
+def ones_complement_sum(data: Buffer) -> int:
     """16-bit one's-complement sum of ``data`` (padded with a zero byte
-    if odd length), as used by the TCP/IP checksums."""
-    if len(data) % 2:
-        data = data + b"\x00"
-    total = 0
-    # Summing 16-bit big-endian words; fold carries at the end.
-    for i in range(0, len(data), 2):
-        total += (data[i] << 8) | data[i + 1]
-    while total >> 16:
-        total = (total & 0xFFFF) + (total >> 16)
-    return total
+    if odd length), as used by the TCP/IP checksums.
+
+    Accepts any bytes-like object or :class:`~repro.net.payload
+    .PayloadView` and folds directly over a memoryview — the hot path
+    (one call per mapped payload when DSS checksums are on) never copies
+    the payload.
+
+    Implementation: because ``2**16 ≡ 1 (mod 0xFFFF)``, the big-endian
+    integer value of the data is congruent to the sum of its 16-bit
+    words, so the whole fold collapses to one C-level ``int.from_bytes``
+    and one modulo.  The only case the congruence cannot distinguish is
+    a non-zero sum that is a multiple of ``0xFFFF`` — the repeated-fold
+    loop yields ``0xFFFF`` there, never 0, hence the final fix-up.
+    An odd length needs a zero byte appended, which is a left shift.
+    """
+    mv = as_memoryview(data)
+    value = int.from_bytes(mv, "big")
+    if len(mv) & 1:
+        value <<= 8  # zero-pad the odd tail byte
+    if value == 0:
+        return 0
+    folded = value % 0xFFFF
+    return folded if folded else 0xFFFF
 
 
 def add_ones_complement(a: int, b: int) -> int:
@@ -36,24 +51,29 @@ def add_ones_complement(a: int, b: int) -> int:
     return total
 
 
-def payload_sum(payload: bytes) -> int:
+def payload_sum(payload: Buffer) -> int:
     """The payload's partial sum — computed once, then combined into
     both the TCP checksum and the DSS checksum."""
     return ones_complement_sum(payload)
 
 
 def pseudo_header_sum(dsn: int, subflow_seq: int, length: int) -> int:
-    """Partial sum of the MPTCP pseudo-header covering the mapping."""
-    header = (
-        (dsn & 0xFFFFFFFF).to_bytes(4, "big")
-        + (subflow_seq & 0xFFFFFFFF).to_bytes(4, "big")
-        + (length & 0xFFFF).to_bytes(2, "big")
-        + b"\x00\x00"
-    )
-    return ones_complement_sum(header)
+    """Partial sum of the MPTCP pseudo-header covering the mapping.
+
+    Pure integer arithmetic — summing the five 16-bit words of the
+    (DSN, relative SSN, length, zero-pad) header without building the
+    12-byte string first.  Equivalent to ``ones_complement_sum`` over
+    the encoded header.
+    """
+    dsn &= 0xFFFFFFFF
+    ssn = subflow_seq & 0xFFFFFFFF
+    total = (dsn >> 16) + (dsn & 0xFFFF) + (ssn >> 16) + (ssn & 0xFFFF) + (length & 0xFFFF)
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return total
 
 
-def dss_checksum(dsn: int, subflow_seq: int, length: int, payload: bytes) -> int:
+def dss_checksum(dsn: int, subflow_seq: int, length: int, payload: Buffer) -> int:
     """Checksum placed in the DSS option: one's complement of the sum of
     the pseudo-header and the mapped payload."""
     total = add_ones_complement(pseudo_header_sum(dsn, subflow_seq, length), payload_sum(payload))
@@ -61,7 +81,7 @@ def dss_checksum(dsn: int, subflow_seq: int, length: int, payload: bytes) -> int
 
 
 def verify_dss_checksum(
-    dsn: int, subflow_seq: int, length: int, payload: bytes, checksum: int
+    dsn: int, subflow_seq: int, length: int, payload: Buffer, checksum: int
 ) -> bool:
     """True when the received mapping's bytes are unmodified."""
     return dss_checksum(dsn, subflow_seq, length, payload) == checksum

@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.net.node import Host
 from repro.net.packet import Endpoint
+from repro.net.payload import Buffer, as_memoryview
 from repro.sim import Timer
 from repro.tcp.autotune import BufferAutotuner, ThroughputMeter
 from repro.tcp.buffer import ByteStream, ReassemblyQueue
@@ -457,7 +458,9 @@ class MPTCPConnection:
         room = self.snd_buf_limit - len(self.send_stream)
         accepted = data[:room] if room < len(data) else data
         if accepted:
-            self.send_stream.append(bytes(accepted))
+            # append() snapshots mutable inputs; bytes and PayloadViews
+            # enter the send stream without a copy.
+            self.send_stream.append(accepted)
             self.kick()
         return len(accepted)
 
@@ -525,7 +528,7 @@ class MPTCPConnection:
         self,
         subflow: Optional[Subflow],
         start: Optional[int],
-        payload: bytes,
+        payload: Buffer,
         data_fin: bool = False,
     ) -> DSS:
         """The DSS option for a mapping starting at data offset ``start``.
@@ -690,7 +693,7 @@ class MPTCPConnection:
     def dss_data_ack_option(self) -> DSS:
         return DSS(data_ack=self.rx_wire_dsn(self.rcv_data_nxt))
 
-    def deliver_chunk(self, subflow: Subflow, offset: int, payload: bytes) -> None:
+    def deliver_chunk(self, subflow: Subflow, offset: int, payload: Buffer) -> None:
         """In-order subflow bytes with a verified mapping land here."""
         end = offset + len(payload)
         if end <= self.rcv_data_nxt:
@@ -711,7 +714,7 @@ class MPTCPConnection:
         if data:
             self.rcv_data_nxt += len(data)
             self.ooo_index.advance(self.rcv_data_nxt)
-            self._rx_ready.extend(data)
+            self._rx_ready += as_memoryview(data)
             self.stats.bytes_delivered += len(data)
             if self.on_data is not None:
                 self.on_data(self)
@@ -782,7 +785,7 @@ class MPTCPConnection:
         self._ensure_data_rtx_timer()
         self.kick()
 
-    def on_checksum_failure(self, subflow: Subflow, mapping: RxMapping, payload: bytes) -> None:
+    def on_checksum_failure(self, subflow: Subflow, mapping: RxMapping, payload: Buffer) -> None:
         """§3.3.6: a content-modifying middlebox struck.  With another
         subflow available, reset this one; otherwise fall back to plain
         TCP and let the middlebox rewrite in peace."""
@@ -875,11 +878,11 @@ class MPTCPConnection:
             if self.on_writable is not None and self.send_buffer_room() > 0:
                 self.on_writable(self)
 
-    def on_fallback_data(self, subflow: Subflow, data: bytes) -> None:
+    def on_fallback_data(self, subflow: Subflow, data: Buffer) -> None:
         if not data:
             return
         self.rcv_data_nxt += len(data)
-        self._rx_ready.extend(data)
+        self._rx_ready += as_memoryview(data)
         self.stats.bytes_delivered += len(data)
         if self.on_data is not None:
             self.on_data(self)

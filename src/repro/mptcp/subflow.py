@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING, Optional
 from repro.net.node import Host
 from repro.net.options import TCPOption
 from repro.net.packet import Segment
+from repro.net.payload import Buffer
 from repro.tcp.buffer import ByteStream
 from repro.tcp.socket import TCPConfig, TCPSocket
 from repro.mptcp.checksum import verify_dss_checksum
@@ -401,7 +402,7 @@ class Subflow(TCPSocket):
         self._rx_mappings.sort(key=lambda m: m.ssn_start)
         self.rx_mappings_received += 1
 
-    def _on_in_order_data(self, data: bytes) -> None:
+    def _on_in_order_data(self, data: Buffer) -> None:
         conn = self.connection
         self.stats.bytes_delivered += len(data)
         if conn.fallback:

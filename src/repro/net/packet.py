@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Iterable, Optional, Type, TypeVar
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.options import TCPOption
+    from repro.net.payload import Buffer
 
 # TCP header flag bits (subset used by the simulator).
 FIN = 0x01
@@ -56,8 +57,10 @@ _T = TypeVar("_T", bound="TCPOption")
 class Segment:
     """One TCP segment in flight.
 
-    ``payload`` is real bytes: content-modifying middleboxes genuinely
-    change them and the DSS checksum genuinely detects it.
+    ``payload`` is real bytes (``bytes`` or a zero-copy
+    :class:`~repro.net.payload.PayloadView`): content-modifying
+    middleboxes genuinely change them and the DSS checksum genuinely
+    detects it.
     """
 
     __slots__ = (
@@ -69,7 +72,8 @@ class Segment:
         "window",
         "_options",
         "_options_len_cache",
-        "payload",
+        "_payload",
+        "_size_cache",
         "created_at",
     )
 
@@ -82,7 +86,7 @@ class Segment:
         flags: int = 0,
         window: int = 0,
         options: Optional[list["TCPOption"]] = None,
-        payload: bytes = b"",
+        payload: "Buffer" = b"",
         created_at: float = 0.0,
     ):
         self.src = src
@@ -93,7 +97,8 @@ class Segment:
         self.window = window
         self._options: list["TCPOption"] = options if options is not None else []
         self._options_len_cache: Optional[tuple[int, int]] = None
-        self.payload = payload
+        self._payload: "Buffer" = payload
+        self._size_cache: Optional[tuple[int, int]] = None
         self.created_at = created_at
 
     @property
@@ -104,6 +109,16 @@ class Segment:
     def options(self, options: list["TCPOption"]) -> None:
         self._options = options
         self._options_len_cache = None
+        self._size_cache = None
+
+    @property
+    def payload(self) -> "Buffer":
+        return self._payload
+
+    @payload.setter
+    def payload(self, payload: "Buffer") -> None:
+        self._payload = payload
+        self._size_cache = None
 
     # ------------------------------------------------------------------
     # Flag helpers
@@ -128,12 +143,12 @@ class Segment:
     # Sizing
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self.payload)
+        return len(self._payload)
 
     @property
     def seq_space(self) -> int:
         """Bytes of sequence space consumed (payload plus SYN/FIN)."""
-        return len(self.payload) + (1 if self.syn else 0) + (1 if self.fin else 0)
+        return len(self._payload) + (1 if self.syn else 0) + (1 if self.fin else 0)
 
     @property
     def end_seq(self) -> int:
@@ -159,8 +174,24 @@ class Segment:
 
     @property
     def size_bytes(self) -> int:
-        """On-the-wire size including IP and TCP headers."""
-        return IP_HEADER_BYTES + TCP_HEADER_BYTES + self.options_length() + len(self.payload)
+        """On-the-wire size including IP and TCP headers.
+
+        Cached with the same invalidation discipline as
+        :meth:`options_length`: ``Link.send``, ``tx_time`` and the
+        transmit-done handler each read it per packet, so recomputing
+        the option encoding three times per hop added up.  Assigning
+        ``payload`` or ``options`` invalidates; in-place option-list
+        edits that change its *count* are caught by the count key.
+        """
+        cache = self._size_cache
+        count = len(self._options)
+        if cache is not None and cache[0] == count:
+            return cache[1]
+        size = (
+            IP_HEADER_BYTES + TCP_HEADER_BYTES + self.options_length() + len(self._payload)
+        )
+        self._size_cache = (count, size)
+        return size
 
     # ------------------------------------------------------------------
     # Option access

@@ -10,8 +10,13 @@
   out-of-order queue, with the paper's Regular/Tree/Shortcuts variants,
   lives in :mod:`repro.mptcp.ooo`.)
 
-Both work in *absolute* (unwrapped) stream offsets; the 32-bit wrapping is
-confined to the socket's segment encode/decode boundary.
+Both are zero-copy: they store immutable chunks/views and hand out
+:class:`~repro.net.payload.PayloadView` windows instead of copying.
+Because chunks are immutable, a view stays valid forever — releasing or
+extracting drops *references*, never shifts bytes under a live view.
+
+Both work in *absolute* (unwrapped) stream offsets; the 32-bit wrapping
+is confined to the socket's segment encode/decode boundary.
 """
 
 from __future__ import annotations
@@ -19,58 +24,101 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 from typing import Optional
 
+from repro.net.payload import Buffer, PayloadView, as_view, concat
+
 
 class ByteStream:
     """An append-only stream retaining bytes from ``head`` to ``tail``.
 
+    Internally a rope: a list of immutable chunks (one per ``append``)
+    plus their absolute end offsets for bisect lookup.  ``peek`` within
+    a single chunk — the overwhelmingly common case, since apps append
+    in 64 KiB chunks and sockets peek at most one MSS — returns an O(1)
+    subview; a peek straddling chunks joins just the spanned pieces.
+
     >>> s = ByteStream()
     >>> s.append(b"hello world")
     11
-    >>> s.peek(6, 5)
+    >>> bytes(s.peek(6, 5))
     b'world'
     >>> s.release_to(6); len(s)
     5
     """
 
-    _COMPACT_THRESHOLD = 1 << 16
-
     def __init__(self, base: int = 0):
-        self._buffer = bytearray()
-        self._offset = 0  # index in _buffer corresponding to self.head
+        self._chunks: list[Buffer] = []  # immutable bytes / PayloadView
+        self._chunk_ends: list[int] = []  # absolute end offset per chunk
         self.head = base  # absolute offset of first retained byte
         self.tail = base  # absolute offset one past the last byte
 
-    def append(self, data: bytes) -> int:
-        """Add bytes at the tail; returns the new tail offset."""
-        self._buffer.extend(data)
-        self.tail += len(data)
+    def append(self, data: Buffer) -> int:
+        """Add bytes at the tail; returns the new tail offset.
+
+        ``bytes`` and :class:`PayloadView` inputs are stored by
+        reference (zero-copy); mutable inputs are snapshotted once so
+        later caller-side mutation cannot reach into the stream.
+        """
+        length = len(data)
+        if length == 0:
+            return self.tail
+        if isinstance(data, (bytearray, memoryview)):
+            data = bytes(data)
+        self._chunks.append(data)
+        self.tail += length
+        self._chunk_ends.append(self.tail)
         return self.tail
 
-    def peek(self, offset: int, length: int) -> bytes:
-        """Read (without consuming) ``length`` bytes at absolute ``offset``."""
+    def peek(self, offset: int, length: int) -> PayloadView:
+        """Read (without consuming) ``length`` bytes at absolute ``offset``.
+
+        Returns a :class:`PayloadView`; no payload bytes are copied
+        unless the range straddles append boundaries.
+        """
         if offset < self.head:
             raise IndexError(f"offset {offset} below head {self.head} (already released)")
         if offset + length > self.tail:
             raise IndexError(f"range [{offset},{offset+length}) beyond tail {self.tail}")
-        start = self._offset + (offset - self.head)
-        # A memoryview slice is zero-copy; only the final bytes() copies,
-        # halving the work of the bytearray-slice-then-bytes idiom.  The
-        # view must be released before returning: a live export pins the
-        # bytearray's size and would make the next append() blow up.
-        with memoryview(self._buffer) as view:
-            return bytes(view[start : start + length])
+        if length == 0:
+            return _EMPTY_VIEW
+        index = bisect_right(self._chunk_ends, offset)
+        chunk = self._chunks[index]
+        start = offset - (self._chunk_ends[index] - len(chunk))
+        if start + length <= len(chunk):
+            # Fast path (nearly every peek: apps append 64 KiB chunks,
+            # sockets peek at most one MSS): construct the subview
+            # directly rather than wrap-then-slice.
+            if type(chunk) is PayloadView:
+                return PayloadView(chunk._data, chunk._offset + start, length)
+            return PayloadView(chunk, start, length)
+        pieces = []
+        remaining = length
+        while True:
+            take = min(remaining, len(chunk) - start)
+            pieces.append(as_view(chunk)[start : start + take])
+            remaining -= take
+            if not remaining:
+                break
+            index += 1
+            chunk = self._chunks[index]
+            start = 0
+        return as_view(concat(pieces))
 
     def release_to(self, offset: int) -> None:
-        """Free all bytes before ``offset`` (cumulative-ACK semantics)."""
+        """Free all bytes before ``offset`` (cumulative-ACK semantics).
+
+        Drops whole head chunks whose last byte is below ``offset``;
+        a partially-released head chunk is retained until fully ACKed
+        (bounded slack of at most one append's length).
+        """
         if offset <= self.head:
             return
         if offset > self.tail:
             raise IndexError(f"cannot release past tail {self.tail}")
-        self._offset += offset - self.head
         self.head = offset
-        if self._offset > self._COMPACT_THRESHOLD and self._offset > len(self._buffer) // 2:
-            del self._buffer[: self._offset]
-            self._offset = 0
+        drop = bisect_right(self._chunk_ends, offset)
+        if drop:
+            del self._chunks[:drop]
+            del self._chunk_ends[:drop]
 
     def __len__(self) -> int:
         """Bytes currently held in memory."""
@@ -78,6 +126,16 @@ class ByteStream:
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<ByteStream [{self.head},{self.tail}) {len(self)}B>"
+
+
+class _Run:
+    """One contiguous run of buffered bytes, held as a piece list."""
+
+    __slots__ = ("pieces", "length")
+
+    def __init__(self, pieces: list[Buffer], length: int):
+        self.pieces = pieces
+        self.length = length
 
 
 class ReassemblyQueue:
@@ -89,31 +147,37 @@ class ReassemblyQueue:
     even when a traffic normalizer has re-asserted original content
     upstream.  Overlapping and adjacent blocks are merged, keeping the
     store a sorted list of disjoint runs.
+
+    Each run is a list of views in stream order rather than one flat
+    buffer: merging runs is list concatenation, and inserting new data
+    slices only the *gap* ranges out of the incoming view — the bytes
+    themselves are never copied until extraction joins them.
     """
 
     def __init__(self):
         self._starts: list[int] = []  # sorted, disjoint, non-adjacent
-        self._blocks: dict[int, bytes] = {}
+        self._runs: dict[int, _Run] = {}
         self.buffered_bytes = 0
 
-    def insert(self, start: int, data: bytes, limit: Optional[int] = None) -> int:
+    def insert(self, start: int, data: Buffer, limit: Optional[int] = None) -> int:
         """Insert ``data`` at absolute offset ``start``.
 
         ``limit`` (if given) is the highest offset that may be stored (the
         receive-window right edge); bytes beyond it are discarded.
         Returns the number of genuinely new bytes stored.
         """
+        data = as_view(data)
         if limit is not None and start + len(data) > limit:
             data = data[: max(0, limit - start)]
         if not data:
             return 0
         end = start + len(data)
 
-        # Collect every existing block overlapping or adjacent to [start, end).
+        # Collect every existing run overlapping or adjacent to [start, end).
         first = bisect_left(self._starts, start)
         if first > 0:
             prev_start = self._starts[first - 1]
-            if prev_start + len(self._blocks[prev_start]) >= start:
+            if prev_start + self._runs[prev_start].length >= start:
                 first -= 1
         last = first
         while last < len(self._starts) and self._starts[last] <= end:
@@ -122,58 +186,80 @@ class ReassemblyQueue:
 
         if not overlapping:
             self._starts.insert(first, start)
-            self._blocks[start] = data
+            self._runs[start] = _Run([data], len(data))
             self.buffered_bytes += len(data)
             return len(data)
 
+        # Walk the merge window left to right: existing runs keep their
+        # pieces; the gaps between them are filled by slicing the new
+        # view.  Every gap inside the window is covered by [start, end)
+        # (that is what made both neighbours part of the window).
         merged_start = min(start, overlapping[0])
-        last_block_start = overlapping[-1]
-        merged_end = max(end, last_block_start + len(self._blocks[last_block_start]))
-        merged = bytearray(merged_end - merged_start)
-        # Lay down the new data first, then let existing bytes win.
-        merged[start - merged_start : end - merged_start] = data
-        existing_bytes = 0
-        for block_start in overlapping:
-            block = self._blocks.pop(block_start)
-            existing_bytes += len(block)
-            merged[block_start - merged_start : block_start - merged_start + len(block)] = block
+        pieces: list[Buffer] = []
+        stored = 0
+        cursor = merged_start
+        for run_start in overlapping:
+            run = self._runs.pop(run_start)
+            if run_start > cursor:
+                pieces.append(data[cursor - start : run_start - start])
+                stored += run_start - cursor
+            pieces.extend(run.pieces)
+            cursor = run_start + run.length
+        if end > cursor:
+            pieces.append(data[cursor - start :])
+            stored += end - cursor
+            cursor = end
+
         del self._starts[first:last]
         self._starts.insert(first, merged_start)
-        self._blocks[merged_start] = bytes(merged)
-        stored = len(merged) - existing_bytes
+        self._runs[merged_start] = _Run(pieces, cursor - merged_start)
         self.buffered_bytes += stored
         return stored
 
-    def extract_in_order(self, next_offset: int) -> bytes:
+    def extract_in_order(self, next_offset: int) -> Buffer:
         """Remove and return all contiguous bytes starting at ``next_offset``.
 
         Blocks entirely below ``next_offset`` (stale retransmissions) are
-        discarded.
+        discarded.  Returns a single piece untouched (zero-copy) when the
+        run was delivered in one view; joins only when fragments must
+        combine.
         """
-        pieces: list[bytes] = []
+        pieces: list[Buffer] = []
         consumed = 0
         for start in self._starts:
             if start > next_offset:
                 break
-            block = self._blocks.pop(start)
+            run = self._runs.pop(start)
             consumed += 1
-            self.buffered_bytes -= len(block)
+            self.buffered_bytes -= run.length
             skip = next_offset - start
-            if skip < len(block):
-                pieces.append(block[skip:] if skip else block)
-                next_offset = start + len(block)
+            if skip < run.length:
+                run_pieces = run.pieces
+                if skip:
+                    # Drop whole leading pieces, then re-slice the first
+                    # kept one — no byte copies either way.
+                    kept = 0
+                    while skip >= len(run_pieces[kept]):
+                        skip -= len(run_pieces[kept])
+                        kept += 1
+                    if skip:
+                        pieces.append(as_view(run_pieces[kept])[skip:])
+                        kept += 1
+                    pieces.extend(run_pieces[kept:])
+                else:
+                    pieces.extend(run_pieces)
+                next_offset = start + run.length
         if consumed:
             # One batch delete instead of pop(0) per block: draining a
             # queue of n blocks is O(n), not O(n^2).
             del self._starts[:consumed]
-        return b"".join(pieces)
+        return concat(pieces)
 
     def sack_blocks(self, max_blocks: int = 3) -> list[tuple[int, int]]:
         """Up to ``max_blocks`` (start, end) runs of buffered data."""
-        blocks = [
-            (start, start + len(self._blocks[start])) for start in self._starts[:max_blocks]
+        return [
+            (start, start + self._runs[start].length) for start in self._starts[:max_blocks]
         ]
-        return blocks
 
     @property
     def block_count(self) -> int:
@@ -185,7 +271,10 @@ class ReassemblyQueue:
         if not self._starts:
             return 0
         last = self._starts[-1]
-        return last + len(self._blocks[last])
+        return last + self._runs[last].length
 
     def __len__(self) -> int:
         return self.buffered_bytes
+
+
+_EMPTY_VIEW = as_view(b"")

@@ -37,6 +37,7 @@ from repro.net.options import (
     WindowScaleOption,
 )
 from repro.net.packet import ACK, FIN, PSH, RST, SYN, Endpoint, Segment
+from repro.net.payload import Buffer, as_memoryview
 from repro.sim import Timer
 from repro.tcp.buffer import ByteStream, ReassemblyQueue
 from repro.tcp.cc import CongestionController, NewReno
@@ -84,7 +85,7 @@ class SentSegment:
 
     start: int
     end: int
-    payload: bytes
+    payload: Buffer  # bytes or a zero-copy PayloadView
     sticky_options: list[TCPOption]
     sent_time: float
     syn: bool = False
@@ -251,7 +252,9 @@ class TCPSocket:
         room = self.snd_buf_limit - len(self.snd_buf)
         accepted = data[:room] if room < len(data) else data
         if accepted:
-            self.snd_buf.append(bytes(accepted))
+            # append() snapshots mutable inputs; bytes and PayloadViews
+            # are stored by reference — the app-to-stack copy is gone.
+            self.snd_buf.append(accepted)
             self._try_send()
         return len(accepted)
 
@@ -344,7 +347,7 @@ class TCPSocket:
         """Passive side: first segment after our SYN/ACK (MPTCP fallback
         detection point, §3.1)."""
 
-    def _pull_new_data(self, max_bytes: int) -> Optional[tuple[bytes, list[TCPOption], bool]]:
+    def _pull_new_data(self, max_bytes: int) -> Optional[tuple[Buffer, list[TCPOption], bool]]:
         """Produce up to ``max_bytes`` of new payload.
 
         Returns (payload, sticky_options, fin) or None when there is
@@ -373,10 +376,10 @@ class TCPSocket:
     def _fin_ready(self) -> bool:
         return self._fin_pending and not self._fin_sent
 
-    def _on_in_order_data(self, data: bytes) -> None:
+    def _on_in_order_data(self, data: Buffer) -> None:
         """Deliver in-order bytes upwards (app for TCP, connection for a
         subflow)."""
-        self._rx_ready.extend(data)
+        self._rx_ready += as_memoryview(data)
         self.stats.bytes_delivered += len(data)
         if self.on_data is not None:
             self.on_data(self)
@@ -856,6 +859,8 @@ class TCPSocket:
             trim = ack_unit - head.start
             if head.lost:
                 self._lost_bytes -= trim
+            # O(1) when the payload is a PayloadView: the trim is a
+            # re-slice of the shared backing, not a copy.
             trim_payload = min(trim, len(head.payload))
             head.payload = head.payload[trim_payload:]
             head.start = ack_unit
@@ -1047,7 +1052,7 @@ class TCPSocket:
             if fin:
                 break
 
-    def _send_data_segment(self, payload: bytes, sticky_options: list[TCPOption], fin: bool) -> None:
+    def _send_data_segment(self, payload: Buffer, sticky_options: list[TCPOption], fin: bool) -> None:
         start = self.snd_nxt
         end = start + len(payload) + (1 if fin else 0)
         flags = ACK | (FIN if fin else 0) | (PSH if payload else 0)
@@ -1079,7 +1084,7 @@ class TCPSocket:
         self,
         flags: int,
         seq_unit: int,
-        payload: bytes = b"",
+        payload: Buffer = b"",
         options: Optional[list[TCPOption]] = None,
         with_ack: bool = True,
     ) -> Segment:

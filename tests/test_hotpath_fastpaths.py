@@ -18,6 +18,7 @@ import pytest
 
 from repro.net.options import MSSOption, SACKPermitted, TimestampsOption, options_length
 from repro.net.packet import Endpoint, Segment
+from repro.net.payload import PayloadView
 from repro.sim.engine import Simulator, Timer, events_run_total
 from repro.tcp.buffer import ByteStream, ReassemblyQueue
 
@@ -181,12 +182,16 @@ class TestReassemblyDrain:
 
 
 class TestByteStreamPeek:
-    def test_peek_returns_immutable_bytes(self):
+    def test_peek_returns_immutable_view(self):
         stream = ByteStream()
         stream.append(b"hello world")
         view = stream.peek(6, 5)
         assert view == b"world"
-        assert isinstance(view, bytes)
+        # Zero-copy: a PayloadView over the stream's immutable chunk.
+        assert isinstance(view, PayloadView)
+        assert bytes(view) == b"world"
+        with pytest.raises(TypeError):
+            view[0] = 0  # views are read-only
 
     def test_peek_then_append_is_safe(self):
         # A leaked memoryview export would make this append() raise
