@@ -1,0 +1,716 @@
+"""The invariant oracle: per-event validation of protocol state.
+
+After every simulator event the oracle sweeps all discovered endpoints
+and checks:
+
+* **TCP sequence-space algebra** — ``snd_una <= snd_nxt``; the
+  retransmission queue is sorted, non-overlapping and below ``snd_nxt``;
+  ``rcv_nxt`` never retreats and never overruns the advertised right
+  edge (``+1`` slack: a FIN may consume the unit just past the edge);
+  the advertised edge itself never retracts (RFC 793's "do not shrink
+  the window").
+* **Receive-buffer occupancy** — in-order-but-unread plus out-of-order
+  bytes never exceed the socket's announced buffer, and nothing is ever
+  buffered beyond the advertised edge.  (Subflows are exempt from the
+  occupancy bound *and* from the advertised-edge geometry checks: their
+  window is the *connection-level* shared pool, §3.3.1, which retracts
+  whenever a sibling subflow consumes it — the bounds are checked on
+  the connection instead.)
+* **MPTCP data-level algebra** — ``data_una``/``data_nxt`` ordering
+  (with the one-offset DATA_FIN slack), monotonic ``rcv_data_nxt``,
+  data-level reassembly within the advertised window, no extractable
+  in-order data left sitting in the queue (a data-seq gap that should
+  not exist), and per-subflow DSS mappings sorted and non-overlapping
+  in subflow-sequence space.  The data-level store is bounded by
+  ``rcv_buf_limit``; total receive memory including subflow pending
+  bytes only by ``rcv_buf_limit`` times the live-subflow count plus
+  one, because every subflow advertises the same shared pool and
+  reinjection can duplicate in-flight data (§3.3.1).
+* **Coupled congestion control** — every active LIA controller keeps
+  ``cwnd >= mss`` and ``ssthresh >= 2*mss`` (the NewReno floors), and
+  the cached ``alpha`` is non-negative.  The oracle never *computes*
+  alpha itself — that would warm the group's cache at different times
+  than an unobserved run and perturb the simulation.
+* **End-to-end stream equality** — bytes delivered to the receiving
+  application are, prefix-for-prefix, the bytes the sending application
+  wrote, checked incrementally and by digest at close.  Payload-
+  rewriting elements (ALGs, bit corrupters) legitimately break this for
+  endpoints that cannot detect it — plain TCP, or MPTCP after fallback
+  or with checksums off — so those mismatches are tolerated and counted
+  in :attr:`InvariantOracle.tolerated_modifications` instead of raised.
+
+Violations raise :class:`InvariantViolation` with the last segments
+captured by a tail-mode :class:`~repro.net.trace.PacketTrace`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING, Optional
+
+from repro.mptcp.connection import MPTCPConnection
+from repro.mptcp.subflow import Subflow
+from repro.net.trace import PacketTrace
+from repro.tcp.cc import NewReno
+from repro.tcp.socket import TCPSocket
+from repro.tcp.state import TCPState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.network import Network
+
+
+class InvariantViolation(AssertionError):
+    """A protocol invariant failed.  Carries the recent packet trace."""
+
+    def __init__(
+        self,
+        invariant: str,
+        message: str,
+        time: float = 0.0,
+        subject: str = "",
+        trace_tail: Optional[list] = None,
+    ):
+        self.invariant = invariant
+        self.message = message
+        self.time = time
+        self.subject = subject
+        self.trace_tail = list(trace_tail or [])
+        super().__init__(self.format())
+
+    def format(self) -> str:
+        lines = [f"[{self.invariant}] t={self.time * 1000:.3f}ms {self.subject}: {self.message}"]
+        if self.trace_tail:
+            lines.append(f"--- last {len(self.trace_tail)} segments ---")
+            lines.extend(record.format() for record in self.trace_tail)
+        return "\n".join(lines)
+
+
+class _Watch:
+    """Oracle-side bookkeeping for one endpoint (socket or connection)."""
+
+    __slots__ = (
+        "entity",
+        "is_subflow",
+        "is_mptcp",
+        "send_stream",
+        "captured_until",
+        "sent_log",
+        "read_log",
+        "matched",
+        "tainted",
+        "peer",
+        "prev_adv_edge",
+        "prev_rcv_nxt",
+        "closed_checked",
+    )
+
+    def __init__(self, entity):
+        self.entity = entity
+        self.is_subflow = isinstance(entity, Subflow)
+        self.is_mptcp = isinstance(entity, MPTCPConnection)
+        self.send_stream = entity.send_stream if self.is_mptcp else entity.snd_buf
+        self.captured_until = self.send_stream.head
+        self.sent_log = bytearray()  # everything the app ever wrote
+        self.read_log = bytearray()  # everything the app ever read
+        self.matched = 0  # delivered bytes verified against the peer
+        self.tainted = False  # sanctioned payload rewriting observed
+        self.peer: Optional["_Watch"] = None
+        if self.is_mptcp:
+            self.prev_adv_edge = entity.rcv_adv_edge
+            self.prev_rcv_nxt = entity.rcv_data_nxt
+        else:
+            self.prev_adv_edge = entity._rcv_adv_edge
+            self.prev_rcv_nxt = entity.rcv_nxt
+        self.closed_checked = False
+
+    def delivered_len(self) -> int:
+        return len(self.read_log) + len(self.entity._rx_ready)
+
+
+class InvariantOracle:
+    """Attachable per-event protocol checker.
+
+    >>> oracle = InvariantOracle.attach(net)
+    >>> ...build endpoints, run the experiment...
+    >>> oracle.assert_quiescent()   # optional end-of-run stream audit
+    >>> oracle.detach()
+    """
+
+    def __init__(self, network: "Network", tail: int = 64):
+        self.network = network
+        self.trace = PacketTrace(tail=tail)
+        self.events_checked = 0
+        self.checks_run = 0
+        self.tolerated_modifications = 0
+        self.stream_pairs = 0
+        self._watches: dict[int, _Watch] = {}
+        self._conn_watches: dict[int, _Watch] = {}
+        # Fully-verified watches move here so per-event sweeps stay
+        # bounded by *live* connections, not every connection ever made
+        # (a closed-loop workload would otherwise go quadratic).  The
+        # strong reference also pins the entity so its id() — our
+        # discovery key — cannot be recycled onto a new socket.
+        self._retired: dict[int, _Watch] = {}
+        self.watches_retired = 0
+        # Above this many live endpoints the per-event sweep rotates a
+        # fixed budget of them instead of checking all (see check_now).
+        self.full_sweep_limit = 16
+        self._everyone: list[_Watch] = []  # cached _watches + _conn_watches
+        self._dirty = False  # _everyone needs rebuilding
+        self._conn_total = -1  # registered-connection count at last discovery
+        self._tapped_paths = 0
+        self._payload_modifiers = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach(cls, network: "Network", tail: int = 64) -> "InvariantOracle":
+        oracle = cls(network, tail=tail)
+        if network.sim.post_event is not None:
+            raise RuntimeError("simulator already has a post_event hook")
+        network.sim.post_event = oracle._post_event
+        network._oracle = oracle
+        oracle._tap_new_paths()
+        return oracle
+
+    def detach(self) -> None:
+        if self.network.sim.post_event is not None:
+            self.network.sim.post_event = None
+
+    # ------------------------------------------------------------------
+    # Per-event driver
+    # ------------------------------------------------------------------
+    def _post_event(self, event) -> None:
+        self.events_checked += 1
+        self._tap_new_paths()
+        self._discover()
+        self.check_now()
+
+    def _tap_new_paths(self) -> None:
+        paths = self.network.paths
+        if len(paths) == self._tapped_paths:
+            return
+        for path in paths[self._tapped_paths :]:
+            path.add_tap(self.trace._tap)
+            for element in path.elements:
+                if getattr(element, "corrupts_payload", False) or getattr(
+                    element, "rewrites_payload", False
+                ):
+                    self._payload_modifiers = True
+        self._tapped_paths = len(paths)
+
+    def _discover(self) -> None:
+        # The full rescan is O(registered connections); skip it while the
+        # registration count is unchanged.  A same-event register+
+        # unregister swap could slip past the count, so force a rescan
+        # every 16th check anyway (bounded, deterministic lag).
+        total = 0
+        for host in self.network.hosts.values():
+            total += len(host._connections)
+        if total == self._conn_total and self.checks_run % 16:
+            return
+        self._conn_total = total
+        for host in self.network.hosts.values():
+            for sink in host._connections.values():
+                if not isinstance(sink, TCPSocket):
+                    continue
+                key = id(sink)
+                if key in self._watches or key in self._retired:
+                    continue
+                watch = _Watch(sink)
+                self._watches[key] = watch
+                self._dirty = True
+                if not watch.is_subflow:
+                    self._wrap_read(watch)
+                    self._try_pair(watch)
+                if isinstance(sink, Subflow):
+                    conn = sink.connection
+                    ckey = id(conn)
+                    if ckey not in self._conn_watches and ckey not in self._retired:
+                        cwatch = _Watch(conn)
+                        self._conn_watches[ckey] = cwatch
+                        self._dirty = True
+                        self._wrap_read(cwatch)
+                        self._try_pair(cwatch)
+
+    def _wrap_read(self, watch: _Watch) -> None:
+        original = watch.entity.read
+
+        def read(max_bytes=None, _watch=watch, _original=original):
+            data = _original(max_bytes)
+            if data:
+                _watch.read_log += data
+            return data
+
+        watch.entity.read = read
+
+    def _try_pair(self, watch: _Watch) -> None:
+        pool = self._conn_watches if watch.is_mptcp else self._watches
+        for other in pool.values():
+            if other is watch or other.peer is not None or other.is_subflow:
+                continue
+            if self._is_peer(watch.entity, other.entity):
+                watch.peer = other
+                other.peer = watch
+                self.stream_pairs += 1
+                return
+
+    @staticmethod
+    def _is_peer(a, b) -> bool:
+        if isinstance(a, MPTCPConnection):
+            if not isinstance(b, MPTCPConnection):
+                return False
+            return (
+                a.remote_key is not None
+                and b.remote_key is not None
+                and a.local_key == b.remote_key
+                and b.local_key == a.remote_key
+            )
+        if a.local is not None and a.remote is not None:
+            if a.local == b.remote and a.remote == b.local:
+                return True
+        # Behind an address-rewriting middlebox the four-tuples disagree;
+        # the exchanged ISNs still identify the pair.
+        return (
+            a.state.synchronized
+            and b.state.synchronized
+            and a.iss == b.irs
+            and b.iss == a.irs
+        )
+
+    # ------------------------------------------------------------------
+    # Checks
+    # ------------------------------------------------------------------
+    def check_now(self, full: bool = False) -> None:
+        """Run the invariants against the current state.
+
+        With at most :attr:`full_sweep_limit` live endpoints every
+        endpoint is checked on every event.  Past that (closed-loop
+        workloads holding hundreds of connections open) the expensive
+        per-endpoint checks rotate round-robin with a fixed per-event
+        budget: every endpoint is still checked continuously and any
+        violation still raises, at most one rotation late.  Stream
+        capture stays per-event for all endpoints regardless, so no
+        sent byte ever escapes the logs.  The rotation is driven by the
+        check counter, so detection stays deterministic per seed."""
+        self.checks_run += 1
+        if self._dirty:
+            self._everyone = list(self._watches.values()) + list(
+                self._conn_watches.values()
+            )
+            self._dirty = False
+        everyone = self._everyone
+        if full or len(everyone) <= self.full_sweep_limit:
+            targets = everyone
+        else:
+            for watch in everyone:
+                if not watch.is_subflow:
+                    self._capture_sent(watch)
+            budget = self.full_sweep_limit
+            start = (self.checks_run * budget) % len(everyone)
+            targets = everyone[start : start + budget]
+            if len(targets) < budget:
+                targets += everyone[: budget - len(targets)]
+        for watch in targets:
+            # Pairing needs the handshake (keys / ISNs exchanged), which
+            # is rarely complete at discovery — keep retrying until it
+            # sticks.
+            if watch.peer is None and not watch.is_subflow:
+                self._try_pair(watch)
+            if watch.is_mptcp:
+                self._check_connection(watch)
+                self._check_streams(watch)
+            else:
+                self._check_tcp(watch)
+                if watch.is_subflow:
+                    self._check_mappings(watch.entity)
+                else:
+                    self._check_streams(watch)
+        self._retire_done(targets)
+
+    def _retire_done(self, watches) -> None:
+        """Drop fully-verified endpoints from the per-event sweeps."""
+        for watch in watches:
+            if not self._retirable(watch):
+                continue
+            key = id(watch.entity)
+            pool = self._conn_watches if watch.is_mptcp else self._watches
+            if pool.pop(key, None) is not None:
+                self._retired[key] = watch
+                self.watches_retired += 1
+                self._dirty = True
+
+    def _retirable(self, watch: _Watch) -> bool:
+        if watch.is_subflow:
+            # Subflow watches are never stream-paired; once the socket
+            # reaches CLOSED its sequence space and mapping table are
+            # frozen, so there is nothing left to check.
+            return self._entity_closed(watch.entity)
+        peer = watch.peer
+        if peer is None:
+            return self._entity_closed(watch.entity)
+        # Retire pairs atomically: both directions close-checked (the
+        # stream digests agreed), or both endpoints fully closed (reset
+        # or tolerated-modification paths never set closed_checked).
+        return (watch.closed_checked and peer.closed_checked) or (
+            self._entity_closed(watch.entity) and self._entity_closed(peer.entity)
+        )
+
+    @staticmethod
+    def _entity_closed(entity) -> bool:
+        if isinstance(entity, MPTCPConnection):
+            return entity.closed
+        return entity.state is TCPState.CLOSED
+
+    def _fail(self, invariant: str, subject: str, message: str) -> None:
+        raise InvariantViolation(
+            invariant,
+            message,
+            time=self.network.sim.now,
+            subject=subject,
+            trace_tail=self.trace.records,
+        )
+
+    # --- TCP (sockets and subflows) -----------------------------------
+    def _check_tcp(self, watch: _Watch) -> None:
+        sock = watch.entity
+        name = sock.name
+        if sock.snd_una > sock.snd_nxt:
+            self._fail("tcp-snd-order", name, f"snd_una={sock.snd_una} > snd_nxt={sock.snd_nxt}")
+        prev_end = None
+        for entry in sock._rtx_queue:
+            if entry.start >= entry.end:
+                self._fail("tcp-rtx-range", name, f"empty rtx entry [{entry.start},{entry.end})")
+            if prev_end is not None and entry.start < prev_end:
+                self._fail(
+                    "tcp-rtx-order",
+                    name,
+                    f"rtx queue overlap: [{entry.start},{entry.end}) after end {prev_end}",
+                )
+            if entry.end > sock.snd_nxt:
+                self._fail(
+                    "tcp-rtx-range",
+                    name,
+                    f"rtx entry [{entry.start},{entry.end}) beyond snd_nxt={sock.snd_nxt}",
+                )
+            prev_end = entry.end
+        if not sock.state.synchronized:
+            return
+        if sock.rcv_nxt < watch.prev_rcv_nxt:
+            self._fail(
+                "tcp-rcv-monotonic",
+                name,
+                f"rcv_nxt retreated {watch.prev_rcv_nxt} -> {sock.rcv_nxt}",
+            )
+        watch.prev_rcv_nxt = sock.rcv_nxt
+        edge = sock._rcv_adv_edge
+        if edge:
+            # Subflows advertise the *shared* connection-level pool
+            # (§3.3.1): a sibling consuming it legitimately retracts this
+            # subflow's edge, and data sent against the older, larger
+            # announcement may arrive past the current one.  The data-
+            # level window geometry is checked on the connection instead.
+            if not watch.is_subflow:
+                if edge < watch.prev_adv_edge:
+                    self._fail(
+                        "tcp-window-shrunk",
+                        name,
+                        f"advertised right edge retracted {watch.prev_adv_edge} -> {edge}",
+                    )
+                # A FIN legitimately consumes the unit just past the edge.
+                if sock.rcv_nxt > edge + 1:
+                    self._fail(
+                        "tcp-window-overrun",
+                        name,
+                        f"rcv_nxt={sock.rcv_nxt} beyond advertised edge {edge}",
+                    )
+                if sock.reassembly.block_count:
+                    # Stream offset i holds sequence unit i+1.
+                    if sock.reassembly.max_offset > edge - 1:
+                        self._fail(
+                            "tcp-buffer-overrun",
+                            name,
+                            f"reassembly holds offset {sock.reassembly.max_offset} "
+                            f"beyond advertised edge {edge} (unit {edge - 1} max)",
+                        )
+            watch.prev_adv_edge = edge
+            if sock.reassembly.block_count:
+                first = sock.reassembly._starts[0]
+                if first <= sock.rcv_nxt - 1:
+                    self._fail(
+                        "tcp-rx-gap",
+                        name,
+                        f"in-order data at stream offset {first} not extracted "
+                        f"(rcv_nxt={sock.rcv_nxt})",
+                    )
+        if not watch.is_subflow:
+            occupancy = len(sock._rx_ready) + len(sock.reassembly)
+            if occupancy > sock.rcv_buf_limit:
+                self._fail(
+                    "tcp-buffer-occupancy",
+                    name,
+                    f"{occupancy} bytes buffered > rcv_buf_limit={sock.rcv_buf_limit}",
+                )
+            cc = sock.cc
+            if isinstance(cc, NewReno):
+                # The peer's MSS option can clamp the socket's effective
+                # MSS below the controller's (a timeout collapses cwnd to
+                # the *socket* MSS), so the floor is the smaller of the two.
+                floor = min(cc.mss, sock.mss)
+                if cc.cwnd < floor:
+                    self._fail("cc-cwnd-floor", name, f"cwnd={cc.cwnd} < mss={floor}")
+                if cc.ssthresh < 2 * floor:
+                    self._fail(
+                        "cc-ssthresh-floor", name, f"ssthresh={cc.ssthresh} < 2*mss={2 * floor}"
+                    )
+
+    # --- DSS mappings --------------------------------------------------
+    def _check_mappings(self, subflow: Subflow) -> None:
+        prev = None
+        for mapping in subflow._rx_mappings:
+            if mapping.length <= 0:
+                self._fail(
+                    "dss-mapping-empty",
+                    subflow.name,
+                    f"mapping ssn={mapping.ssn_start} has length {mapping.length}",
+                )
+            if prev is not None and mapping.ssn_start < prev.ssn_end:
+                self._fail(
+                    "dss-mapping-overlap",
+                    subflow.name,
+                    f"mapping ssn=[{mapping.ssn_start},{mapping.ssn_end}) overlaps "
+                    f"previous ssn=[{prev.ssn_start},{prev.ssn_end})",
+                )
+            prev = mapping
+
+    # --- MPTCP connection level ----------------------------------------
+    def _check_connection(self, watch: _Watch) -> None:
+        conn = watch.entity
+        name = f"mptcp@{conn.host.name}"
+        # DATA_FIN occupies one data offset past the stream tail.
+        if conn.data_una > conn.data_nxt + 1:
+            self._fail(
+                "mptcp-snd-order",
+                name,
+                f"data_una={conn.data_una} > data_nxt={conn.data_nxt}+1",
+            )
+        if conn.data_nxt > conn.send_stream.tail + 1:
+            self._fail(
+                "mptcp-snd-range",
+                name,
+                f"data_nxt={conn.data_nxt} beyond stream tail {conn.send_stream.tail}+1",
+            )
+        if conn.rcv_data_nxt < watch.prev_rcv_nxt:
+            self._fail(
+                "mptcp-rcv-monotonic",
+                name,
+                f"rcv_data_nxt retreated {watch.prev_rcv_nxt} -> {conn.rcv_data_nxt}",
+            )
+        watch.prev_rcv_nxt = conn.rcv_data_nxt
+        # In fallback mode the data-level window is out of play: bytes
+        # move raw under plain TCP flow control and rcv_adv_edge is
+        # never advertised again, so its algebra only binds pre-fallback.
+        if not conn.fallback:
+            edge = conn.rcv_adv_edge
+            if edge < watch.prev_adv_edge:
+                self._fail(
+                    "mptcp-window-shrunk",
+                    name,
+                    f"advertised data edge retracted {watch.prev_adv_edge} -> {edge}",
+                )
+            watch.prev_adv_edge = edge
+            if conn.rcv_data_nxt > edge + 1:
+                self._fail(
+                    "mptcp-window-overrun",
+                    name,
+                    f"rcv_data_nxt={conn.rcv_data_nxt} beyond advertised edge {edge}",
+                )
+        if not conn.fallback and conn.reassembly.block_count:
+            limit = max(edge, conn.rcv_data_nxt + 1)
+            if conn.reassembly.max_offset > limit:
+                self._fail(
+                    "mptcp-buffer-overrun",
+                    name,
+                    f"data reassembly holds offset {conn.reassembly.max_offset} "
+                    f"beyond window limit {limit}",
+                )
+            first = conn.reassembly._starts[0]
+            if first <= conn.rcv_data_nxt:
+                self._fail(
+                    "mptcp-data-gap",
+                    name,
+                    f"in-order data at offset {first} not delivered "
+                    f"(rcv_data_nxt={conn.rcv_data_nxt})",
+                )
+        # The data-level store is strictly bounded by the shared pool:
+        # the advertised edge is derived from the remaining headroom and
+        # inserts truncate at it.  Subflow-level pending bytes are NOT in
+        # that bound — every subflow advertises the same pool (§3.3.1)
+        # and opportunistic reinjection can hold duplicate in-flight
+        # copies — so total memory gets the looser worst-case bound.
+        # +1: a zero-window probe unit may be accepted past a closed
+        # window (deliver_chunk floors the limit at rcv_data_nxt + 1).
+        data_store = len(conn._rx_ready) + len(conn.reassembly)
+        if data_store > conn.rcv_buf_limit + 1:
+            self._fail(
+                "mptcp-buffer-occupancy",
+                name,
+                f"{data_store} data-level bytes buffered "
+                f"> rcv_buf_limit={conn.rcv_buf_limit}+1",
+            )
+        live = 1 + sum(1 for s in conn.subflows if not s.failed)
+        occupancy = conn.rx_memory_bytes()
+        if occupancy > conn.rcv_buf_limit * live:
+            self._fail(
+                "mptcp-memory-bound",
+                name,
+                f"{occupancy} bytes held (incl. subflow pending) > "
+                f"{live}x rcv_buf_limit={conn.rcv_buf_limit}",
+            )
+        group = conn.cc_group
+        alpha = group._alpha_cache
+        if alpha is not None and alpha < 0:
+            self._fail("cc-alpha", name, f"coupled alpha {alpha} < 0")
+        total = 0
+        active = 0
+        for subflow in conn.subflows:
+            controller = subflow.cc
+            if not isinstance(controller, NewReno) or not getattr(controller, "active", True):
+                continue
+            active += 1
+            total += controller.cwnd
+            floor = min(controller.mss, subflow.mss)
+            if controller.cwnd < floor:
+                self._fail(
+                    "cc-cwnd-floor", name, f"subflow cwnd={controller.cwnd} < mss={floor}"
+                )
+            if controller.ssthresh < 2 * floor:
+                self._fail(
+                    "cc-ssthresh-floor",
+                    name,
+                    f"subflow ssthresh={controller.ssthresh} < 2*mss={2 * floor}",
+                )
+        if active and total < 1:
+            self._fail("cc-aggregate", name, f"aggregate cwnd {total} of active coupled group")
+
+    # --- End-to-end stream equality ------------------------------------
+    def _check_streams(self, watch: _Watch) -> None:
+        self._capture_sent(watch)
+        peer = watch.peer
+        if peer is None:
+            return
+        self._capture_sent(peer)
+        self._compare_delivered(watch, peer)
+        self._close_check(watch, peer)
+
+    def _capture_sent(self, watch: _Watch) -> None:
+        stream = watch.send_stream
+        if stream.tail <= watch.captured_until:
+            return
+        if watch.captured_until < stream.head:
+            self._fail(
+                "oracle-capture-gap",
+                self._subject(watch),
+                f"send stream released past capture point "
+                f"({stream.head} > {watch.captured_until})",
+            )
+        new = bytes(stream.peek(watch.captured_until, stream.tail - watch.captured_until))
+        watch.sent_log += new
+        watch.captured_until = stream.tail
+
+    def _compare_delivered(self, recv: _Watch, send: _Watch) -> None:
+        """Verify the receiver's delivered stream is a prefix of what the
+        sender's application wrote, comparing only the new bytes."""
+        if recv.tainted:
+            return
+        reads_total = len(recv.read_log)
+        rx = recv.entity._rx_ready
+        delivered = reads_total + len(rx)
+        if delivered <= recv.matched:
+            return
+        if delivered > len(send.sent_log):
+            self._stream_mismatch(
+                recv,
+                f"delivered {delivered} bytes but peer only sent {len(send.sent_log)}",
+            )
+            return
+        cursor = recv.matched
+        if cursor < reads_total:
+            if recv.read_log[cursor:reads_total] != send.sent_log[cursor:reads_total]:
+                self._stream_mismatch(
+                    recv, f"delivered bytes [{cursor},{reads_total}) differ from sent"
+                )
+                return
+            cursor = reads_total
+        if cursor < delivered:
+            if rx[cursor - reads_total :] != send.sent_log[cursor:delivered]:
+                self._stream_mismatch(
+                    recv, f"delivered bytes [{cursor},{delivered}) differ from sent"
+                )
+                return
+        recv.matched = delivered
+
+    def _stream_mismatch(self, recv: _Watch, message: str) -> None:
+        if self._modification_tolerated(recv):
+            recv.tainted = True
+            self.tolerated_modifications += 1
+            return
+        self._fail("stream-integrity", self._subject(recv), message)
+
+    def _modification_tolerated(self, recv: _Watch) -> bool:
+        """A payload-rewriting element is on a path and this receiver has
+        no means of detecting the rewrite — that is TCP behaviour, not a
+        protocol bug (§3.3.6 is precisely about adding the means)."""
+        if not self._payload_modifiers:
+            return False
+        entity = recv.entity
+        if recv.is_mptcp:
+            return entity.fallback or not entity.config.checksum
+        return True
+
+    def _close_check(self, recv: _Watch, send: _Watch) -> None:
+        """At a graceful close every sent byte must have been delivered,
+        and the stream digests must agree."""
+        if recv.closed_checked or recv.tainted:
+            return
+        entity = recv.entity
+        if not entity._rx_eof or getattr(entity, "error", None) is not None:
+            return
+        if recv.is_mptcp:
+            genuine_fin = entity.peer_data_fin is not None or entity.fallback
+        else:
+            genuine_fin = entity._peer_fin_unit is not None
+        if not genuine_fin:
+            return
+        recv.closed_checked = True
+        delivered = recv.delivered_len()
+        if delivered != len(send.sent_log):
+            self._fail(
+                "stream-close-length",
+                self._subject(recv),
+                f"stream closed after delivering {delivered} of "
+                f"{len(send.sent_log)} sent bytes",
+            )
+        ours = hashlib.sha256(recv.read_log + entity._rx_ready).hexdigest()
+        theirs = hashlib.sha256(send.sent_log).hexdigest()
+        if ours != theirs:
+            self._fail(
+                "stream-close-hash",
+                self._subject(recv),
+                f"delivered-stream digest {ours[:16]} != sent-stream digest {theirs[:16]}",
+            )
+
+    @staticmethod
+    def _subject(watch: _Watch) -> str:
+        entity = watch.entity
+        if watch.is_mptcp:
+            return f"mptcp@{entity.host.name}"
+        return entity.name
+
+    # ------------------------------------------------------------------
+    def assert_quiescent(self) -> None:
+        """Explicit end-of-run audit: one final full check."""
+        self._tap_new_paths()
+        self._discover()
+        self.check_now(full=True)

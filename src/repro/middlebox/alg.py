@@ -33,6 +33,10 @@ class PayloadModifier(PathElement):
     shifted back, keeping both endpoints consistent.
     """
 
+    # The invariant oracle tolerates end-to-end stream differences for
+    # endpoints that cannot detect an in-path payload rewrite.
+    rewrites_payload = True
+
     def __init__(
         self,
         pattern: bytes,

@@ -31,6 +31,7 @@ class OptionStripper(PathElement):
         syn_only: bool = True,
         skip_syn: bool = False,
         direction: int | None = None,
+        active_after: float = 0.0,
         name: str = "OptionStripper",
     ):
         super().__init__(name)
@@ -38,10 +39,15 @@ class OptionStripper(PathElement):
         self.syn_only = syn_only
         self.skip_syn = skip_syn
         self.direction = direction  # None = both directions
+        # A route change mid-connection can move the flow onto a
+        # stripping path: options pass until this (simulated) time.
+        self.active_after = active_after
         self.stripped = 0
 
     def process(self, segment: Segment, direction: int) -> list[tuple[Segment, int]]:
         if self.direction is not None and direction != self.direction:
+            return [(segment, direction)]
+        if self.active_after and self.sim.now < self.active_after:
             return [(segment, direction)]
         if self.syn_only and not segment.syn:
             return [(segment, direction)]

@@ -825,20 +825,46 @@ class MPTCPConnection:
         if self.fallback:
             return True
         single = len([s for s in self.subflows if not s.failed]) <= 1
-        if (
+        holes_free = (
             single
-            and subflow.rx_mappings_received == 0
             and len(self.reassembly) == 0
             and len(self.ooo_index) == 0
             and not subflow._rx_mappings
-        ):
+        )
+        if not holes_free:
+            return False
+        if subflow.rx_mappings_received == 0:
+            # §3.1's first-data rule: options never survived past the
+            # handshake.  The peer notices symmetrically (our ACKs carry
+            # no DSS), so no explicit signal is needed.
             self.enter_fallback("MPTCP options stripped from data segments")
-            pending = subflow._rx_pending
-            raw = pending.peek(pending.head, len(pending))
-            pending.release_to(pending.tail)
-            self.on_fallback_data(subflow, raw)
-            return True
-        return False
+        elif len(self.subflows) == 1 and subflow._rx_mapless_data_run >= 2:
+            # Mid-connection stripping: mappings flowed earlier, then a
+            # path change ate the options.  Requiring a run of mapping-
+            # less data segments separates this from a coalescer that
+            # merged away one mapping (the merged segment still carries
+            # its first mapping — §3.3.5 drops those bytes instead).
+            # With the only-ever subflow,
+            # every mapped byte mapped contiguously and was delivered
+            # (reassembly and index are empty), so the raw subflow
+            # continuation IS the data-stream continuation.  The sender
+            # still thinks it is speaking MPTCP — tell it with MP_FAIL
+            # (infinite-mapping fallback, the §3.3.6 ladder).
+            self._mp_fail_pending = True
+            self.enter_fallback("MPTCP options stripped mid-connection")
+        else:
+            # A second subflow existed at some point: its unacked data
+            # may be reinjected here with stale mappings, so a raw
+            # continuation could interleave.  Keep waiting; data-level
+            # retransmission will repair or tear the connection down.
+            return False
+        pending = subflow._rx_pending
+        raw = pending.peek(pending.head, len(pending))
+        pending.release_to(pending.tail)
+        self.on_fallback_data(subflow, raw)
+        if self._mp_fail_pending:
+            subflow._send_ack(force=True, extra_options=[self._take_mp_fail()])
+        return True
 
     def enter_fallback(self, reason: str) -> None:
         """Drop to regular-TCP behaviour on the (single) subflow (§3.1's

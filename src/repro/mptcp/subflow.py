@@ -120,6 +120,11 @@ class Subflow(TCPSocket):
         self.last_opportunistic_time = -1.0
         self.rx_mappings_received = 0
         self._rx_first_checked = False
+        # Consecutive data segments that arrived without any DSS mapping.
+        # A coalescing middlebox drops *some* mappings but the merged
+        # segment still carries one; a stripping middlebox removes them
+        # from every segment — this run length tells the two apart.
+        self._rx_mapless_data_run = 0
 
     # ------------------------------------------------------------------
     # Identity helpers
@@ -344,6 +349,17 @@ class Subflow(TCPSocket):
                 self.is_mptcp = False
                 conn.enter_fallback("first non-SYN segment from peer without MPTCP option")
                 return
+        if len(segment.payload) > 0:
+            carries_mapping = any(
+                isinstance(option, DSS)
+                and option.dsn is not None
+                and option.length > 0
+                for option in segment.options
+            )
+            if carries_mapping:
+                self._rx_mapless_data_run = 0
+            else:
+                self._rx_mapless_data_run += 1
         for option in segment.options:
             if isinstance(option, DSS):
                 self._process_dss(option, segment)

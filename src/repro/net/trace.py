@@ -54,24 +54,36 @@ class TraceRecord:
 
 
 class PacketTrace:
-    """Capture segments crossing one or more paths."""
+    """Capture segments crossing one or more paths.
 
-    def __init__(self, limit: Optional[int] = 100_000):
+    ``limit`` bounds memory by dropping *new* records once full (the
+    head of the capture is what matters when studying a handshake).
+    ``tail`` instead keeps only the *last* ``tail`` records, discarding
+    the oldest — the mode the invariant oracle uses so a violation
+    report carries the packets leading up to the failure.
+    """
+
+    def __init__(self, limit: Optional[int] = 100_000, tail: Optional[int] = None):
         self.records: list[TraceRecord] = []
         self.limit = limit
+        self.tail = tail
         self.dropped = 0
         self._predicate: Optional[Callable[[Segment], bool]] = None
 
     # ------------------------------------------------------------------
     @classmethod
-    def attach(cls, path: "Path", limit: Optional[int] = 100_000) -> "PacketTrace":
-        trace = cls(limit=limit)
+    def attach(
+        cls, path: "Path", limit: Optional[int] = 100_000, tail: Optional[int] = None
+    ) -> "PacketTrace":
+        trace = cls(limit=limit, tail=tail)
         path.add_tap(trace._tap)
         return trace
 
     @classmethod
-    def attach_all(cls, network: "Network", limit: Optional[int] = 100_000) -> "PacketTrace":
-        trace = cls(limit=limit)
+    def attach_all(
+        cls, network: "Network", limit: Optional[int] = 100_000, tail: Optional[int] = None
+    ) -> "PacketTrace":
+        trace = cls(limit=limit, tail=tail)
         for path in network.paths:
             path.add_tap(trace._tap)
         return trace
@@ -83,7 +95,13 @@ class PacketTrace:
     def _tap(self, path: "Path", segment: Segment, direction: int) -> None:
         if self._predicate is not None and not self._predicate(segment):
             return
-        if self.limit is not None and len(self.records) >= self.limit:
+        if self.tail is not None and len(self.records) >= self.tail:
+            # Ring-buffer mode: evict the oldest record.  Slicing every
+            # eviction would be O(n); deleting the head amortises fine
+            # for the small tails (tens to hundreds) the oracle keeps.
+            del self.records[0]
+            self.dropped += 1
+        elif self.limit is not None and len(self.records) >= self.limit:
             self.dropped += 1
             return
         self.records.append(

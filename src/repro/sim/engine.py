@@ -86,6 +86,9 @@ class Simulator:
         self._events_run: int = 0
         self._live: int = 0  # queued events that are not cancelled
         self._running: bool = False
+        # Called after every executed event (the invariant oracle hooks
+        # in here).  The None check is the only cost when detached.
+        self.post_event: Optional[Callable[[Event], Any]] = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -143,6 +146,8 @@ class Simulator:
                 event._sim = None
                 self.now = event.time
                 event.fn(*event.args)
+                if self.post_event is not None:
+                    self.post_event(event)
                 self._events_run += 1
                 executed += 1
                 if max_events is not None and executed >= max_events:
@@ -165,6 +170,8 @@ class Simulator:
             event._sim = None
             self.now = event.time
             event.fn(*event.args)
+            if self.post_event is not None:
+                self.post_event(event)
             self._events_run += 1
             _EVENTS_RUN_TOTAL += 1
             return True

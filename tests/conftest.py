@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
 
+from repro.check import InvariantOracle
 from repro.mptcp.api import connect as mptcp_connect
 from repro.mptcp.api import listen as mptcp_listen
 from repro.mptcp.connection import MPTCPConfig
@@ -13,6 +15,28 @@ from repro.net.network import Network
 from repro.net.packet import Endpoint
 from repro.tcp.listener import Listener
 from repro.tcp.socket import TCPConfig, TCPSocket
+
+# ---------------------------------------------------------------------------
+# REPRO_ORACLE=1 runs the whole suite under the invariant oracle: every
+# Network built by any test gets a per-event protocol checker attached,
+# and any violation surfaces as an InvariantViolation in that test.
+# ---------------------------------------------------------------------------
+ORACLE_ENABLED = os.environ.get("REPRO_ORACLE", "") not in ("", "0")
+
+
+@pytest.fixture(autouse=True)
+def _oracle_everywhere(monkeypatch):
+    if not ORACLE_ENABLED:
+        yield
+        return
+    original_init = Network.__init__
+
+    def init_with_oracle(self, seed: int = 1):
+        original_init(self, seed=seed)
+        InvariantOracle.attach(self)
+
+    monkeypatch.setattr(Network, "__init__", init_with_oracle)
+    yield
 
 
 def make_tcp_pair(

@@ -2,6 +2,8 @@
 delivered intact or the connection reports an error.  Never silent
 corruption, never a hang with live paths."""
 
+import os
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -15,9 +17,19 @@ from repro.middlebox import (
     SequenceRewriter,
 )
 from repro.mptcp.connection import MPTCPConfig
+from repro.net.faults import Corrupter, Duplicator, GilbertElliottLoss, LinkFlap, Reorderer
+from repro.net.path import FORWARD
 from repro.sim.rng import SeededRNG
 
 from conftest import make_multipath, make_tcp_pair, mptcp_transfer, random_payload, tcp_transfer
+
+# REPRO_FUZZ_EXAMPLES=100 cranks every hypothesis test up for long fuzz
+# runs (CI smoke uses a small value, default stays as written below).
+_EXAMPLES_OVERRIDE = int(os.environ.get("REPRO_FUZZ_EXAMPLES", "0"))
+
+
+def examples(default: int) -> int:
+    return _EXAMPLES_OVERRIDE or default
 
 
 ELEMENT_MAKERS = [
@@ -28,11 +40,19 @@ ELEMENT_MAKERS = [
     lambda seed: SegmentCoalescer(merge_probability=0.05, rng=SeededRNG(seed, "fc")),
     lambda seed: AckCoercer(mode="correct"),
     lambda seed: HoleBlocker(),
+    # Deterministic faults (content-preserving): retransmission repairs
+    # everything, so the exact-delivery invariant must still hold.
+    lambda seed: LinkFlap(seed=seed, up_mean=2.0, down_mean=0.03),
+    lambda seed: GilbertElliottLoss(
+        seed=seed, p_enter_bad=0.003, p_exit_bad=0.3, loss_bad=0.7
+    ),
+    lambda seed: Reorderer(seed=seed, probability=0.05, depth=3),
+    lambda seed: Duplicator(probability=0.02, rng=SeededRNG(seed, "fd")),
 ]
 
 
 class TestTCPFuzz:
-    @settings(max_examples=12, deadline=None)
+    @settings(max_examples=examples(12), deadline=None)
     @given(
         seed=st.integers(min_value=0, max_value=10_000),
         loss_pct=st.integers(min_value=0, max_value=8),
@@ -44,7 +64,7 @@ class TestTCPFuzz:
         result = tcp_transfer(net, client, server, payload, duration=240)
         assert bytes(result.received) == payload
 
-    @settings(max_examples=10, deadline=None)
+    @settings(max_examples=examples(10), deadline=None)
     @given(
         seed=st.integers(min_value=0, max_value=10_000),
         element_index=st.integers(min_value=0, max_value=len(ELEMENT_MAKERS) - 1),
@@ -58,7 +78,7 @@ class TestTCPFuzz:
 
 
 class TestMPTCPFuzz:
-    @settings(max_examples=10, deadline=None)
+    @settings(max_examples=examples(10), deadline=None)
     @given(
         seed=st.integers(min_value=0, max_value=10_000),
         loss_a=st.integers(min_value=0, max_value=5),
@@ -78,7 +98,7 @@ class TestMPTCPFuzz:
         result = mptcp_transfer(net, client, server, payload, duration=240, config=config)
         assert bytes(result.received) == payload
 
-    @settings(max_examples=10, deadline=None)
+    @settings(max_examples=examples(10), deadline=None)
     @given(
         seed=st.integers(min_value=0, max_value=10_000),
         element_index=st.integers(min_value=0, max_value=len(ELEMENT_MAKERS) - 1),
@@ -93,7 +113,7 @@ class TestMPTCPFuzz:
         result = mptcp_transfer(net, client, server, payload, duration=240)
         assert bytes(result.received) == payload
 
-    @settings(max_examples=8, deadline=None)
+    @settings(max_examples=examples(8), deadline=None)
     @given(
         seed=st.integers(min_value=0, max_value=10_000),
         kill_at_ms=st.integers(min_value=50, max_value=1500),
@@ -109,5 +129,51 @@ class TestMPTCPFuzz:
 
         net.sim.schedule(kill_at_ms / 1000.0, sever)
         config = MPTCPConfig(subflow_max_retries=3)
+        result = mptcp_transfer(net, client, server, payload, duration=240, config=config)
+        assert bytes(result.received) == payload
+
+    @settings(max_examples=examples(6), deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        onset_ms=st.integers(min_value=200, max_value=600),
+    )
+    def test_mptcp_mid_connection_option_strip_falls_back_cleanly(
+        self, seed, onset_ms
+    ):
+        """A route change moves the flow onto an option-stripping path
+        mid-transfer: the receiver must detect the vanished mappings,
+        fall back via MP_FAIL, and the stream must arrive intact."""
+        stripper = OptionStripper(
+            syn_only=False,
+            skip_syn=True,
+            direction=FORWARD,
+            active_after=onset_ms / 1000.0,
+        )
+        # Loss-free path: the clean fallback ladder requires no data-level
+        # holes at the moment the mappings disappear (§3.7 of RFC 6824).
+        net, client, server = make_tcp_pair(
+            seed=seed, queue_bytes=400_000, elements=[stripper]
+        )
+        payload = random_payload(1_000_000, seed=seed)
+        result = mptcp_transfer(net, client, server, payload, duration=60)
+        assert bytes(result.received) == payload
+        assert stripper.stripped > 0
+        assert result.client.fallback and result.server.fallback
+
+    @settings(max_examples=examples(6), deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        dirty_path=st.integers(min_value=0, max_value=1),
+    )
+    def test_mptcp_checksum_catches_payload_corruption(self, seed, dirty_path):
+        """Bit flips on one path must be caught by the DSS checksum and
+        repaired at the data level — never silently delivered."""
+        elements = [[], []]
+        elements[dirty_path] = [
+            Corrupter(seed=seed, probability=0.01, active_after=0.5)
+        ]
+        net, client, server = make_multipath(seed=seed, elements_per_path=elements)
+        payload = random_payload(150_000, seed=seed)
+        config = MPTCPConfig(checksum=True)
         result = mptcp_transfer(net, client, server, payload, duration=240, config=config)
         assert bytes(result.received) == payload

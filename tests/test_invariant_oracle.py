@@ -1,0 +1,224 @@
+"""The invariant oracle must (a) stay silent on correct runs, (b) detect
+genuinely broken protocol states — proven here by *injecting* breakage
+with hostile middleboxes and asserting the violation fires with a
+non-empty packet-trace tail, and (c) cost nothing when detached."""
+
+import dataclasses
+
+import pytest
+
+from repro.check import InvariantOracle, InvariantViolation
+from repro.mptcp.connection import MPTCPConfig
+from repro.mptcp.options import DSS
+from repro.net.network import Network
+from repro.net.packet import Segment
+from repro.net.path import FORWARD, PathElement
+
+from conftest import (
+    make_tcp_pair,
+    mptcp_transfer,
+    random_payload,
+    tcp_transfer,
+)
+
+
+def ensure_oracle(net) -> InvariantOracle:
+    """Reuse the conftest-attached oracle (REPRO_ORACLE=1) or attach one."""
+    return getattr(net, "_oracle", None) or InvariantOracle.attach(net)
+
+
+def all_watches(oracle):
+    """Live and retired watches (verified pairs retire out of the sweep)."""
+    return (
+        list(oracle._watches.values())
+        + list(oracle._conn_watches.values())
+        + list(oracle._retired.values())
+    )
+
+
+class MappingShifter(PathElement):
+    """Hostile middlebox: shifts the subflow-sequence anchor of every
+    forward DSS mapping after ``active_after``, so the receiver maps the
+    *wrong subflow bytes* onto the data stream and delivers them
+    in-order.  With the DSS checksum disabled nothing at the protocol
+    level can notice; the oracle must."""
+
+    def __init__(self, shift: int = 1448, active_after: float = 0.1):
+        super().__init__("MappingShifter")
+        self.shift = shift
+        self.active_after = active_after
+        self.shifted = 0
+
+    def process(self, segment: Segment, direction: int):
+        if direction == FORWARD and self.sim.now >= self.active_after:
+            rewritten = []
+            changed = False
+            for option in segment.options:
+                if (
+                    isinstance(option, DSS)
+                    and option.dsn is not None
+                    and option.length > 0
+                ):
+                    option = dataclasses.replace(
+                        option, subflow_seq=option.subflow_seq + self.shift
+                    )
+                    changed = True
+                    self.shifted += 1
+                rewritten.append(option)
+            if changed:
+                segment.options = rewritten
+        return [(segment, direction)]
+
+
+class TestCleanRuns:
+    def test_tcp_transfer_is_violation_free_and_streams_pair(self):
+        net, client, server = make_tcp_pair(seed=11)
+        oracle = ensure_oracle(net)
+        payload = random_payload(80_000, seed=11)
+        result = tcp_transfer(net, client, server, payload, duration=60)
+        assert bytes(result.received) == payload
+        assert oracle.events_checked > 0
+        assert oracle.stream_pairs >= 1  # endpoint pairing actually happened
+        assert any(
+            w.closed_checked and not w.is_mptcp for w in all_watches(oracle)
+        )
+
+    def test_mptcp_transfer_is_violation_free_and_streams_pair(self):
+        net, client, server = make_tcp_pair(seed=12)
+        oracle = ensure_oracle(net)
+        payload = random_payload(120_000, seed=12)
+        result = mptcp_transfer(net, client, server, payload, duration=60)
+        assert bytes(result.received) == payload
+        assert oracle.stream_pairs >= 1
+        assert any(w.closed_checked and w.is_mptcp for w in all_watches(oracle))
+
+
+class TestNegativeDetection:
+    """Seeded breakage the oracle is required to catch."""
+
+    @pytest.mark.parametrize("seed", [1, 5])
+    def test_corrupt_dss_mapping_raises_violation(self, seed):
+        shifter = MappingShifter(shift=1448, active_after=0.1)
+        net, client, server = make_tcp_pair(seed=seed, elements=[shifter])
+        ensure_oracle(net)
+        payload = random_payload(400_000, seed=seed)
+        config = MPTCPConfig(checksum=False)  # nothing in-protocol can notice
+        with pytest.raises(InvariantViolation) as exc:
+            mptcp_transfer(net, client, server, payload, duration=60, config=config)
+        violation = exc.value
+        assert shifter.shifted > 0
+        assert violation.invariant  # structured: which invariant fired
+        assert violation.time > 0
+        assert len(violation.trace_tail) > 0  # carries the packet history
+        rendered = violation.format()
+        assert violation.invariant in rendered
+        for record in violation.trace_tail[-3:]:
+            assert record.format() in rendered
+
+    def test_corrupt_dss_violation_is_deterministic(self):
+        def provoke():
+            shifter = MappingShifter(shift=1448, active_after=0.1)
+            net, client, server = make_tcp_pair(seed=3, elements=[shifter])
+            ensure_oracle(net)
+            payload = random_payload(400_000, seed=3)
+            with pytest.raises(InvariantViolation) as exc:
+                mptcp_transfer(
+                    net, client, server, payload,
+                    duration=60, config=MPTCPConfig(checksum=False),
+                )
+            return exc.value
+
+        first, second = provoke(), provoke()
+        assert first.invariant == second.invariant
+        assert first.time == second.time
+        assert first.message == second.message
+
+    def test_receive_buffer_overrun_raises_violation(self):
+        """A hostile sender ignoring the advertised window: bytes stuffed
+        into the reassembly queue beyond the receiver's announced edge."""
+        net, client, server = make_tcp_pair(seed=9)
+        ensure_oracle(net)
+        payload = random_payload(200_000, seed=9)
+
+        state = {}
+
+        def capture(sock):
+            state["victim"] = sock
+
+        def stuff():
+            victim = state.get("victim")
+            assert victim is not None, "no accepted socket to attack"
+            beyond = victim._rcv_adv_edge + 50_000
+            victim.reassembly.insert(beyond, b"\xee" * 2_000)
+
+        # Grab the accepted server socket, then attack mid-transfer.
+        net.sim.schedule(0.08, stuff)
+        with pytest.raises(InvariantViolation) as exc:
+            tcp_transfer_with_capture(net, client, server, payload, capture)
+        violation = exc.value
+        assert violation.invariant in (
+            "tcp-buffer-overrun",
+            "tcp-buffer-occupancy",
+            "tcp-window-overrun",
+        )
+        assert len(violation.trace_tail) > 0
+
+
+def tcp_transfer_with_capture(net, client, server, payload, capture):
+    """Like conftest.tcp_transfer but hands the accepted socket to
+    ``capture`` before the transfer proceeds."""
+    from repro.net.packet import Endpoint
+    from repro.tcp.listener import Listener
+    from repro.tcp.socket import TCPSocket
+
+    received = bytearray()
+
+    def on_accept(sock):
+        capture(sock)
+        sock.on_data = lambda s: received.extend(s.read())
+        sock.on_eof = lambda s: s.close()
+
+    Listener(server, 80, on_accept=on_accept)
+    sock = TCPSocket(client)
+    progress = {"sent": 0}
+
+    def pump(s):
+        while progress["sent"] < len(payload):
+            accepted = s.send(payload[progress["sent"] : progress["sent"] + 65536])
+            if accepted == 0:
+                return
+            progress["sent"] += accepted
+        s.close()
+
+    sock.on_established = pump
+    sock.on_writable = pump
+    sock.connect(Endpoint(server.primary_address, 80))
+    net.run(until=60)
+    return received
+
+
+class TestLifecycle:
+    def test_attach_refuses_an_occupied_hook(self):
+        net = Network(seed=1)
+        ensure_oracle(net)
+        with pytest.raises(RuntimeError):
+            InvariantOracle.attach(net)
+
+    def test_detach_restores_the_zero_cost_path(self):
+        net, client, server = make_tcp_pair(seed=4)
+        oracle = ensure_oracle(net)
+        oracle.detach()
+        assert net.sim.post_event is None
+        payload = random_payload(20_000, seed=4)
+        result = tcp_transfer(net, client, server, payload, duration=60)
+        assert bytes(result.received) == payload
+
+    def test_plain_network_has_no_hook(self, monkeypatch):
+        # Outside REPRO_ORACLE=1 a fresh Network carries no post_event
+        # hook at all — the oracle is strictly opt-in.
+        import conftest as _conftest
+
+        if _conftest.ORACLE_ENABLED:
+            pytest.skip("suite-wide oracle attaches on every Network")
+        net = Network(seed=2)
+        assert net.sim.post_event is None
