@@ -1,0 +1,33 @@
+"""Static analysis enforcing the determinism & protocol-safety contract.
+
+The simulator's headline property — a run is a pure function of its seed
+— and the sequence-number discipline that :mod:`repro.tcp.seq` provides
+are both *conventions* unless something checks them.  This package is
+that something: an AST-based rule engine (stdlib :mod:`ast` only, no
+third-party dependencies) that scans ``src/`` for the patterns which
+historically break deterministic replay or wrap-around safety, with
+per-rule allowlists for the few modules whose job is to own the
+exception, and inline waivers for intentional sites.
+
+Run it as a module::
+
+    PYTHONPATH=src python -m repro.analyze src/
+    PYTHONPATH=src python -m repro.analyze --rule DET01 --format json src/
+
+Waive an intentional finding on its own line::
+
+    started = time.perf_counter()  # analyze: ok(DET02): wall-clock metering
+
+or waive a rule for a whole file (near the top, with a reason)::
+
+    # analyze: file-ok(SEQ01): internal absolute units, wrap confined to
+    # the _wire_seq/_unit_from_* conversion layer
+
+The rules are documented in :mod:`repro.analyze.rules` and in
+``ARCHITECTURE.md`` ("Static analysis & the determinism contract").
+"""
+
+from repro.analyze.core import Finding, Report, run_analysis
+from repro.analyze.rules import ALL_RULES, rule_by_code
+
+__all__ = ["ALL_RULES", "Finding", "Report", "rule_by_code", "run_analysis"]

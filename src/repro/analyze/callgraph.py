@@ -1,0 +1,319 @@
+"""Approximate project call graph for the reachability-based rules.
+
+DET03 ("iteration order feeds the event path") and MUT01 ("module state
+mutated from sweep workers") are properties of *call-site reachability*,
+not of single statements, so they need a whole-project view.  This
+module builds a deliberately over-approximate call graph:
+
+* ``name()`` calls resolve to same-module functions, then to
+  ``from x import name`` targets;
+* ``self.m()`` / ``cls.m()`` resolve within the enclosing class, falling
+  back to any project method named ``m``;
+* ``obj.m()`` resolves to an imported module's function when ``obj`` is
+  a module alias, otherwise to **every** project method named ``m``;
+* a nested function (callback/closure) is treated as called by the
+  function that defines it — callbacks installed on sockets and timers
+  run from the event loop, so this keeps them inside the taint.
+
+Over-approximation errs toward *more* taint, which is the safe
+direction for a determinism linter: a false taint at worst demands a
+waiver comment; a false clean bill would let nondeterminism ship.
+
+Two derived sets feed the rules:
+
+* :attr:`Project.schedule_tainted` — functions from which a call into
+  the :mod:`repro.sim.engine` scheduling API (``schedule``,
+  ``schedule_at``, ``call_soon``, or anything defined in
+  ``sim/engine.py``) is reachable.  Iteration order inside these
+  functions can reorder events or packets.
+* :attr:`Project.worker_reachable` — the forward closure from the
+  ``ProcessPoolExecutor`` fan-out entry points: ``_execute_point`` and
+  every function handed to a ``sweep.add(fn, ...)`` call or a
+  ``Point(fn=...)`` construction.  Module-level state mutated here is
+  silently lost (or worse, divergent) across worker processes.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analyze.core import FileContext
+
+SCHEDULE_ATTRS = frozenset({"schedule", "schedule_at", "call_soon"})
+ENGINE_PATH_SUFFIX = "repro/sim/engine.py"
+WORKER_ENTRY_NAMES = frozenset({"_execute_point"})
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method, with its outgoing call references."""
+
+    fid: str  # "<posix path>::Qual.Name"
+    name: str
+    qualname: str
+    class_name: Optional[str]
+    posix: str
+    node: ast.AST
+    # (kind, receiver, name): kind in {"name", "self", "attr", "child"}
+    calls: list[tuple[str, str, str]] = field(default_factory=list)
+
+
+class _ModuleIndexer(ast.NodeVisitor):
+    def __init__(self, ctx: FileContext, project: "Project"):
+        self.ctx = ctx
+        self.project = project
+        self.class_stack: list[str] = []
+        self.func_stack: list[FunctionInfo] = []
+        # local alias -> ("module", dotted) | ("object", module, name)
+        self.imports: dict[str, tuple] = {}
+
+    # -- imports --------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            self.imports[local] = ("module", alias.name)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module:
+            for alias in node.names:
+                local = alias.asname or alias.name
+                self.imports[local] = ("object", node.module, alias.name)
+
+    # -- definitions ----------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.class_stack.append(node.name)
+        self.generic_visit(node)
+        self.class_stack.pop()
+
+    def _visit_function(self, node) -> None:
+        qual_parts = [info.name for info in self.func_stack]
+        if self.class_stack:
+            qual_parts = [".".join(self.class_stack)] + qual_parts
+        qualname = ".".join(qual_parts + [node.name]) if qual_parts else node.name
+        info = FunctionInfo(
+            fid=f"{self.ctx.posix}::{qualname}",
+            name=node.name,
+            qualname=qualname,
+            class_name=self.class_stack[-1] if self.class_stack else None,
+            posix=self.ctx.posix,
+            node=node,
+        )
+        self.project.register(info)
+        if self.func_stack:  # closures run on behalf of their definer
+            self.func_stack[-1].calls.append(("child", "", info.fid))
+        self.func_stack.append(info)
+        self.generic_visit(node)
+        self.func_stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    # -- call collection ------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.func_stack:
+            info = self.func_stack[-1]
+            func = node.func
+            if isinstance(func, ast.Name):
+                info.calls.append(("name", "", func.id))
+            elif isinstance(func, ast.Attribute):
+                receiver = ""
+                if isinstance(func.value, ast.Name):
+                    receiver = func.value.id
+                elif isinstance(func.value, ast.Attribute):
+                    receiver = func.value.attr
+                kind = "self" if receiver in ("self", "cls") else "attr"
+                info.calls.append((kind, receiver, func.attr))
+        self._collect_worker_entry(node)
+        self.generic_visit(node)
+
+    def _collect_worker_entry(self, node: ast.Call) -> None:
+        """``sweep.add(fn, ...)`` and ``Point(fn=...)`` register worker
+        fan-out targets (the functions a pool will execute)."""
+        func = node.func
+        target: Optional[ast.expr] = None
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in ("add", "submit")
+            and isinstance(func.value, ast.Name)
+            and ("sweep" in func.value.id.lower() or "pool" in func.value.id.lower())
+            and node.args
+        ):
+            target = node.args[0]
+        elif isinstance(func, ast.Name) and func.id == "Point":
+            if node.args:
+                target = node.args[0]
+            for keyword in node.keywords:
+                if keyword.arg == "fn":
+                    target = keyword.value
+        if isinstance(target, ast.Name):
+            self.project.worker_entry_refs.append(
+                (self.ctx.posix, dict(self.imports), target.id)
+            )
+        elif isinstance(target, ast.Attribute) and isinstance(target.value, ast.Name):
+            self.project.worker_entry_refs.append(
+                (self.ctx.posix, dict(self.imports), f"{target.value.id}.{target.attr}")
+            )
+
+
+class Project:
+    """Cross-file index: functions, call edges, and the two taint sets."""
+
+    def __init__(self, contexts: list[FileContext]):
+        self.functions: dict[str, FunctionInfo] = {}
+        self.by_node: dict[int, str] = {}  # id(ast node) -> fid
+        self.methods_by_name: dict[str, list[str]] = {}
+        self.module_functions: dict[tuple[str, str], str] = {}  # (posix, name) -> fid
+        self.module_imports: dict[str, dict[str, tuple]] = {}
+        self.module_by_dotted: dict[str, str] = {}  # "repro.sim.engine" -> posix
+        self.worker_entry_refs: list[tuple[str, dict, str]] = []
+
+        for ctx in contexts:
+            self._register_module_name(ctx)
+        for ctx in contexts:
+            indexer = _ModuleIndexer(ctx, self)
+            indexer.visit(ctx.tree)
+            self.module_imports[ctx.posix] = indexer.imports
+
+        self.callees: dict[str, set[str]] = {fid: set() for fid in self.functions}
+        self._resolve_edges()
+        self.schedule_tainted = self._backward_closure(self._schedule_seeds())
+        self.worker_reachable = self._forward_closure(self._worker_seeds())
+
+    # -- registration ---------------------------------------------------
+    def _register_module_name(self, ctx: FileContext) -> None:
+        parts = list(ctx.path.parts)
+        if "repro" in parts:
+            dotted = ".".join(parts[parts.index("repro") : ]).removesuffix(".py")
+            dotted = dotted.removesuffix(".__init__")
+            self.module_by_dotted[dotted] = ctx.posix
+
+    def register(self, info: FunctionInfo) -> None:
+        self.functions[info.fid] = info
+        self.by_node[id(info.node)] = info.fid
+        if info.class_name is not None:
+            self.methods_by_name.setdefault(info.name, []).append(info.fid)
+        else:
+            self.module_functions.setdefault((info.posix, info.name), info.fid)
+
+    # -- edge resolution ------------------------------------------------
+    def _resolve_name(self, posix: str, name: str) -> list[str]:
+        local = self.module_functions.get((posix, name))
+        if local is not None:
+            return [local]
+        target = self.module_imports.get(posix, {}).get(name)
+        if target is not None and target[0] == "object":
+            module_posix = self.module_by_dotted.get(target[1])
+            if module_posix is not None:
+                imported = self.module_functions.get((module_posix, target[2]))
+                if imported is not None:
+                    return [imported]
+        # A class being constructed: treat as calling its __init__.
+        if name and name[0].isupper():
+            return [
+                fid
+                for fid in self.methods_by_name.get("__init__", [])
+                if self.functions[fid].class_name == name
+            ]
+        return []
+
+    def _resolve_edges(self) -> None:
+        for fid, info in self.functions.items():
+            for kind, receiver, name in info.calls:
+                if kind == "child":
+                    self.callees[fid].add(name)
+                elif kind == "name":
+                    self.callees[fid].update(self._resolve_name(info.posix, name))
+                elif kind == "self":
+                    same_class = [
+                        mid
+                        for mid in self.methods_by_name.get(name, [])
+                        if self.functions[mid].class_name == info.class_name
+                        and self.functions[mid].posix == info.posix
+                    ]
+                    self.callees[fid].update(
+                        same_class or self.methods_by_name.get(name, [])
+                    )
+                else:  # generic attribute call
+                    target = self.module_imports.get(info.posix, {}).get(receiver)
+                    if target is not None and target[0] == "module":
+                        module_posix = self.module_by_dotted.get(target[1])
+                        if module_posix is not None:
+                            imported = self.module_functions.get((module_posix, name))
+                            if imported is not None:
+                                self.callees[fid].add(imported)
+                                continue
+                    self.callees[fid].update(self.methods_by_name.get(name, []))
+
+    # -- taint seeds ----------------------------------------------------
+    def _schedule_seeds(self) -> set[str]:
+        seeds = set()
+        for fid, info in self.functions.items():
+            if info.posix.endswith(ENGINE_PATH_SUFFIX):
+                seeds.add(fid)
+                continue
+            for kind, _receiver, name in info.calls:
+                if kind in ("attr", "self", "name") and name in SCHEDULE_ATTRS:
+                    seeds.add(fid)
+                    break
+        return seeds
+
+    def _worker_seeds(self) -> set[str]:
+        seeds = {
+            fid
+            for fid, info in self.functions.items()
+            if info.name in WORKER_ENTRY_NAMES
+        }
+        for posix, imports, ref in self.worker_entry_refs:
+            if "." in ref:
+                receiver, name = ref.split(".", 1)
+                target = imports.get(receiver)
+                if target is not None and target[0] == "module":
+                    module_posix = self.module_by_dotted.get(target[1])
+                    if module_posix is not None:
+                        fid = self.module_functions.get((module_posix, name))
+                        if fid is not None:
+                            seeds.add(fid)
+            else:
+                seeds.update(self._resolve_name(posix, ref))
+        return seeds
+
+    # -- closures -------------------------------------------------------
+    def _forward_closure(self, seeds: set[str]) -> set[str]:
+        reached = set(seeds)
+        frontier = list(seeds)
+        while frontier:
+            fid = frontier.pop()
+            for callee in self.callees.get(fid, ()):
+                if callee not in reached:
+                    reached.add(callee)
+                    frontier.append(callee)
+        return reached
+
+    def _backward_closure(self, seeds: set[str]) -> set[str]:
+        callers: dict[str, set[str]] = {fid: set() for fid in self.functions}
+        for fid, callees in self.callees.items():
+            for callee in callees:
+                callers.setdefault(callee, set()).add(fid)
+        reached = set(seeds)
+        frontier = list(seeds)
+        while frontier:
+            fid = frontier.pop()
+            for caller in callers.get(fid, ()):
+                if caller not in reached:
+                    reached.add(caller)
+                    frontier.append(caller)
+        return reached
+
+    # -- rule-facing queries --------------------------------------------
+    def fid_of(self, node: ast.AST) -> Optional[str]:
+        return self.by_node.get(id(node))
+
+    def is_schedule_tainted(self, node: ast.AST) -> bool:
+        fid = self.fid_of(node)
+        return fid is not None and fid in self.schedule_tainted
+
+    def is_worker_reachable(self, node: ast.AST) -> bool:
+        fid = self.fid_of(node)
+        return fid is not None and fid in self.worker_reachable

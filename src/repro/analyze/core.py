@@ -1,0 +1,216 @@
+"""Rule engine: file walking, waiver parsing, finding collection.
+
+A :class:`Finding` is one rule violation at one source location.  The
+engine parses every file once, extracts waiver comments with
+:mod:`tokenize` (so a ``#`` inside a string literal cannot waive
+anything), builds the cross-file :class:`~repro.analyze.callgraph.Project`
+index only when a selected rule needs it, and returns a :class:`Report`
+whose finding order is fully deterministic (sorted by path, line,
+column, rule) — the linter obeys its own contract.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence
+
+WAIVER_RE = re.compile(r"analyze:\s*(ok|file-ok)\(\s*([A-Z0-9_]+(?:\s*,\s*[A-Z0-9_]+)*)\s*\)")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    waived: bool = False
+
+    def format(self) -> str:
+        mark = "  [waived]" if self.waived else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}{mark}"
+
+    def as_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "waived": self.waived,
+        }
+
+
+@dataclass
+class FileContext:
+    """One parsed source file plus its waiver comments."""
+
+    path: Path  # resolved absolute path
+    display: str  # the path findings print (relative when possible)
+    source: str
+    tree: ast.Module
+    line_waivers: dict[int, set[str]] = field(default_factory=dict)
+    file_waivers: set[str] = field(default_factory=set)
+
+    @property
+    def posix(self) -> str:
+        return self.path.as_posix()
+
+    def is_waived(self, rule: str, line: int) -> bool:
+        if rule in self.file_waivers:
+            return True
+        return rule in self.line_waivers.get(line, set())
+
+
+@dataclass
+class Report:
+    """Everything one analysis run produced."""
+
+    findings: list[Finding]
+    parse_errors: list[str]
+    files_scanned: int
+    rules: list[str]
+
+    @property
+    def unwaived(self) -> list[Finding]:
+        return [f for f in self.findings if not f.waived]
+
+    @property
+    def clean(self) -> bool:
+        return not self.unwaived and not self.parse_errors
+
+    def as_dict(self) -> dict:
+        return {
+            "clean": self.clean,
+            "files_scanned": self.files_scanned,
+            "rules": self.rules,
+            "parse_errors": list(self.parse_errors),
+            "findings": [f.as_dict() for f in self.findings if not f.waived],
+            "waived": [f.as_dict() for f in self.findings if f.waived],
+        }
+
+
+def parse_waivers(source: str) -> tuple[dict[int, set[str]], set[str]]:
+    """Map line -> waived rule codes, plus the file-wide waiver set."""
+    comments: list[tuple[int, str]]
+    try:
+        comments = [
+            (tok.start[0], tok.string)
+            for tok in tokenize.generate_tokens(io.StringIO(source).readline)
+            if tok.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Unterminated constructs etc.: fall back to a plain line scan.
+        comments = [
+            (number, line)
+            for number, line in enumerate(source.splitlines(), start=1)
+            if "#" in line
+        ]
+    line_waivers: dict[int, set[str]] = {}
+    file_waivers: set[str] = set()
+    for lineno, text in comments:
+        for kind, codes in WAIVER_RE.findall(text):
+            rules = {code.strip() for code in codes.split(",") if code.strip()}
+            if kind == "file-ok":
+                file_waivers |= rules
+            else:
+                line_waivers.setdefault(lineno, set()).update(rules)
+    return line_waivers, file_waivers
+
+
+def _display_path(path: Path) -> str:
+    try:
+        rel = os.path.relpath(path)
+    except ValueError:  # different drive (Windows)
+        return path.as_posix()
+    return path.as_posix() if rel.startswith("..") else Path(rel).as_posix()
+
+
+def load_context(path: Path) -> FileContext:
+    """Parse one file; raises SyntaxError for unparseable source."""
+    resolved = path.resolve()
+    source = resolved.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(resolved))
+    line_waivers, file_waivers = parse_waivers(source)
+    return FileContext(
+        path=resolved,
+        display=_display_path(resolved),
+        source=source,
+        tree=tree,
+        line_waivers=line_waivers,
+        file_waivers=file_waivers,
+    )
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Every ``.py`` file under the given files/directories, sorted,
+    skipping hidden directories and ``__pycache__``."""
+    seen: set[Path] = set()
+    for raw in paths:
+        root = Path(raw)
+        if root.is_file():
+            if root.suffix == ".py" and root.resolve() not in seen:
+                seen.add(root.resolve())
+                yield root
+        elif root.is_dir():
+            for found in sorted(root.rglob("*.py")):
+                parts = found.relative_to(root).parts
+                if any(p.startswith(".") or p == "__pycache__" for p in parts[:-1]):
+                    continue
+                if found.resolve() in seen:
+                    continue
+                seen.add(found.resolve())
+                yield found
+        else:
+            raise FileNotFoundError(f"no such file or directory: {root}")
+
+
+def run_analysis(
+    paths: Sequence[str | Path],
+    rule_codes: Optional[Sequence[str]] = None,
+    rules: Optional[Sequence] = None,
+) -> Report:
+    """Run the selected rules (default: all) over the given paths."""
+    from repro.analyze.callgraph import Project
+    from repro.analyze.rules import select_rules
+
+    active = list(rules) if rules is not None else select_rules(rule_codes)
+
+    contexts: list[FileContext] = []
+    parse_errors: list[str] = []
+    for path in iter_python_files(paths):
+        try:
+            contexts.append(load_context(path))
+        except SyntaxError as error:
+            parse_errors.append(
+                f"{_display_path(Path(path))}:{error.lineno or 0}: syntax error: {error.msg}"
+            )
+
+    project = None
+    if any(rule.needs_project for rule in active):
+        project = Project(contexts)
+
+    findings: list[Finding] = []
+    for ctx in contexts:
+        for rule in active:
+            if rule.allows(ctx):
+                continue
+            for finding in rule.check(ctx, project):
+                findings.append(
+                    replace(finding, waived=ctx.is_waived(finding.rule, finding.line))
+                )
+    findings.sort()
+    return Report(
+        findings=findings,
+        parse_errors=parse_errors,
+        files_scanned=len(contexts),
+        rules=[rule.code for rule in active],
+    )

@@ -43,6 +43,10 @@ Violations raise :class:`InvariantViolation` with the last segments
 captured by a tail-mode :class:`~repro.net.trace.PacketTrace`.
 """
 
+# analyze: file-ok(SEQ01): the oracle compares the sockets' internal
+# absolute sequence units (never wrapped 32-bit wire values), so plain
+# integer arithmetic is the correct comparison here.
+
 from __future__ import annotations
 
 import hashlib

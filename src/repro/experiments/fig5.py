@@ -103,7 +103,7 @@ def check_claims(result: ExperimentResult) -> dict[str, bool]:
 def main() -> None:
     result = run_fig5()
     print(result.format_table())
-    for claim, ok in check_claims(result).items():
+    for claim, ok in check_claims(result).items():  # analyze: ok(DET03): insertion-ordered dict, deterministic iteration
         print(f"  claim {claim}: {'PASS' if ok else 'FAIL'}")
 
 

@@ -179,7 +179,7 @@ def main() -> None:
     a, b, c = run_panel_a(), run_panel_b(), run_panel_c()
     for panel in (a, b, c):
         print(panel.format_table())
-    for claim, ok in check_claims(a, b, c).items():
+    for claim, ok in check_claims(a, b, c).items():  # analyze: ok(DET03): insertion-ordered dict, deterministic iteration
         print(f"  claim {claim}: {'PASS' if ok else 'FAIL'}")
 
 

@@ -83,7 +83,7 @@ def run_fig7(
     )
     series = dict(zip(labels, outcome.values))
     outcome.attach(result)
-    for variant, delays in series.items():
+    for variant, delays in series.items():  # analyze: ok(DET03): insertion-ordered dict, deterministic iteration
         if not delays:
             result.add(variant=variant, blocks=0)
             continue
@@ -97,7 +97,7 @@ def run_fig7(
             max_ms=1000 * ordered[-1],
         )
     result.notes["pdfs"] = {
-        variant: _pdf(delays, bin_ms / 1000.0) for variant, delays in series.items()
+        variant: _pdf(delays, bin_ms / 1000.0) for variant, delays in series.items()  # analyze: ok(DET03): insertion-ordered dict, deterministic iteration
     }
     return result
 
@@ -129,7 +129,7 @@ def check_claims(result: ExperimentResult) -> dict[str, bool]:
 def main() -> None:
     result = run_fig7()
     print(result.format_table())
-    for claim, ok in check_claims(result).items():
+    for claim, ok in check_claims(result).items():  # analyze: ok(DET03): insertion-ordered dict, deterministic iteration
         print(f"  claim {claim}: {'PASS' if ok else 'FAIL'}")
 
 

@@ -152,7 +152,7 @@ def main() -> None:
     result = run_fig8()
     print(result.format_table())
     print(f"TCP baseline: {result.notes['tcp_baseline_pct']:.1f}%")
-    for claim, ok in check_claims(result).items():
+    for claim, ok in check_claims(result).items():  # analyze: ok(DET03): insertion-ordered dict, deterministic iteration
         print(f"  claim {claim}: {'PASS' if ok else 'FAIL'}")
 
 

@@ -72,13 +72,17 @@ class SweepPerf:
     workers: int = 1
     wall_clock_s: float = 0.0
     sim_events: int = 0  # executed this run (cache hits contribute 0)
+    # Cache entries that existed but could not be loaded (corrupt pickle,
+    # stale class layout, ...).  Each is re-run as a miss, but silently
+    # eating the error would hide cache corruption — surface it here.
+    cache_errors: list[str] = field(default_factory=list)
 
     @property
     def events_per_sec(self) -> float:
         return self.sim_events / self.wall_clock_s if self.wall_clock_s > 0 else 0.0
 
     def as_notes(self) -> dict:
-        return {
+        notes = {
             "name": self.name,
             "points": self.points,
             "cache_hits": self.cache_hits,
@@ -88,11 +92,20 @@ class SweepPerf:
             "sim_events": self.sim_events,
             "events_per_sec": round(self.events_per_sec, 1),
         }
+        if self.cache_errors:
+            notes["cache_errors"] = list(self.cache_errors)
+        return notes
 
     def summary(self) -> str:
+        corrupt = (
+            f", {len(self.cache_errors)} corrupt cache entr"
+            f"{'y' if len(self.cache_errors) == 1 else 'ies'} re-run"
+            if self.cache_errors
+            else ""
+        )
         return (
             f"[sweep {self.name}] {self.points} points "
-            f"({self.cache_hits} cached, {self.cache_misses} run) "
+            f"({self.cache_hits} cached, {self.cache_misses} run{corrupt}) "
             f"in {self.wall_clock_s:.2f}s on {self.workers} worker(s); "
             f"{self.sim_events} events, {self.events_per_sec:,.0f} events/s"
         )
@@ -147,7 +160,9 @@ def code_fingerprint(root: Optional[Path] = None) -> str:
         digest.update(path.read_bytes())
         digest.update(b"\0")
     fingerprint = digest.hexdigest()
-    _fingerprint_cache[key] = fingerprint
+    # Per-process memo of a value that is identical in every process
+    # (pure function of the source tree), so worker-side copies are fine.
+    _fingerprint_cache[key] = fingerprint  # analyze: ok(MUT01): per-process memo of a pure value
     return fingerprint
 
 
@@ -173,18 +188,23 @@ def _cache_path(cache_dir: Path, key: str) -> Path:
     return cache_dir / key[:2] / f"{key}.pkl"
 
 
-def _cache_load(path: Path) -> Optional[dict]:
+def _cache_load(path: Path, errors: Optional[list[str]] = None) -> Optional[dict]:
     try:
         with path.open("rb") as fh:
             entry = pickle.load(fh)
     except OSError:
-        return None
-    except Exception:
+        return None  # no entry: an ordinary cold miss
+    except Exception as error:
         # Unpickling corrupt bytes can raise nearly anything
-        # (UnpicklingError, ValueError, EOFError, ImportError, ...);
-        # any failure is just a cache miss.
+        # (UnpicklingError, ValueError, EOFError, ImportError, ...).
+        # The point is re-run either way, but the corruption is recorded
+        # on the sweep result instead of vanishing.
+        if errors is not None:
+            errors.append(f"{path.name}: {type(error).__name__}: {error}")
         return None
     if not isinstance(entry, dict) or "value" not in entry:
+        if errors is not None:
+            errors.append(f"{path.name}: malformed entry (not a value dict)")
         return None
     return entry
 
@@ -220,9 +240,9 @@ def clear_cache(cache_dir: Optional[Path] = None) -> int:
 def _execute_point(fn: Callable[..., Any], kwargs: dict) -> tuple[Any, int, float]:
     """Worker-side wrapper: run the point, metering simulator events."""
     events_before = events_run_total()
-    started = time.perf_counter()
+    started = time.perf_counter()  # analyze: ok(DET02): wall-clock perf metering only
     value = fn(**kwargs)
-    return value, events_run_total() - events_before, time.perf_counter() - started
+    return value, events_run_total() - events_before, time.perf_counter() - started  # analyze: ok(DET02): wall-clock perf metering only
 
 
 def _make_pool(workers: int) -> Optional[ProcessPoolExecutor]:
@@ -303,7 +323,7 @@ def run_parallel(
     regardless of which worker finished first.  Cached points are not
     dispatched at all.
     """
-    started = time.perf_counter()
+    started = time.perf_counter()  # analyze: ok(DET02): wall-clock perf metering only
     workers = workers if workers is not None else default_workers()
     if workers < 1:
         workers = 1
@@ -320,7 +340,7 @@ def run_parallel(
         for index, pt in enumerate(points):
             key = point_key(name, pt, fingerprint)
             keys[index] = key
-            entry = _cache_load(_cache_path(directory, key))
+            entry = _cache_load(_cache_path(directory, key), perf.cache_errors)
             if entry is not None:
                 values[index] = entry["value"]
                 perf.cache_hits += 1
@@ -338,7 +358,9 @@ def run_parallel(
                 index: pool.submit(_execute_point, points[index].fn, points[index].kwargs)
                 for index in misses
             }
-            for index, future in futures.items():
+            # Insertion-ordered (built from `misses` above); the merge is
+            # index-keyed, so iteration order cannot reorder results.
+            for index, future in futures.items():  # analyze: ok(DET03): index-keyed merge
                 executed[index] = future.result()
         finally:
             pool.shutdown(wait=True)
@@ -348,7 +370,7 @@ def run_parallel(
             executed[index] = _execute_point(points[index].fn, points[index].kwargs)
         perf.workers = 1
 
-    for index, (value, events, elapsed) in executed.items():
+    for index, (value, events, elapsed) in executed.items():  # analyze: ok(DET03): index-keyed merge
         values[index] = value
         perf.sim_events += events
         if use_cache and keys[index] is not None:
@@ -357,5 +379,5 @@ def run_parallel(
                 {"value": value, "events": events, "elapsed": elapsed, "label": points[index].label},
             )
 
-    perf.wall_clock_s = time.perf_counter() - started
+    perf.wall_clock_s = time.perf_counter() - started  # analyze: ok(DET02): wall-clock perf metering only
     return SweepOutcome(values=values, perf=perf)

@@ -48,7 +48,7 @@ def run_table_study(
         "hole_block": 11.0 if port80 else 5.0,
         "ack_mishandle": 33.0 if port80 else 26.0,
     }
-    for behaviour, paper_rate in paper.items():
+    for behaviour, paper_rate in paper.items():  # analyze: ok(DET03): insertion-ordered dict, deterministic iteration
         result.add(
             metric=f"paths with {behaviour}",
             paper_pct=paper_rate,
@@ -97,7 +97,7 @@ def main() -> None:
     for port80 in (False, True):
         result = run_table_study(port80=port80)
         print(result.format_table())
-        for claim, ok in check_claims(result).items():
+        for claim, ok in check_claims(result).items():  # analyze: ok(DET03): insertion-ordered dict, deterministic iteration
             print(f"  claim {claim}: {'PASS' if ok else 'FAIL'}")
         print()
 

@@ -17,10 +17,10 @@ retransmitted payloads.
 from __future__ import annotations
 
 from repro.net.options import SACKOption
-from repro.net.packet import SEQ_MOD, Endpoint, Segment
+from repro.net.packet import Endpoint, Segment
 from repro.net.path import FORWARD, PathElement
 from repro.net.payload import Buffer, as_bytes
-from repro.tcp.seq import seq_diff
+from repro.tcp.seq import seq_add, seq_diff
 
 
 class PayloadModifier(PathElement):
@@ -89,14 +89,14 @@ class PayloadModifier(PathElement):
                     )
                     length_change = len(self.replacement) - len(self.pattern)
                     if length_change != 0:
-                        boundary = (segment.seq + index + len(self.pattern)) % SEQ_MOD
+                        boundary = seq_add(segment.seq, index + len(self.pattern))
                         self._deltas.setdefault(key, []).append((boundary, length_change))
                     self.rewrites += 1
             seen = self._seen.get(key)
             if seen is None or seq_diff(original_end, seen) > 0:
                 self._seen[key] = original_end
             if delta:
-                segment.seq = (segment.seq + delta) % SEQ_MOD
+                segment.seq = seq_add(segment.seq, delta)
             return [(segment, direction)]
         # Reverse: shift ACKs back so the sender's view stays coherent.
         key = (segment.dst, segment.src)
@@ -105,15 +105,15 @@ class PayloadModifier(PathElement):
             # invert by scanning (the ledger is short).
             total = 0
             for boundary, delta in self._deltas[key]:
-                if seq_diff(segment.ack, (boundary + total + delta) % SEQ_MOD) >= 0:
+                if seq_diff(segment.ack, seq_add(boundary, total + delta)) >= 0:
                     total += delta
             if total:
-                segment.ack = (segment.ack - total) % SEQ_MOD
+                segment.ack = seq_add(segment.ack, -total)
                 sack = segment.find_option(SACKOption)
                 if sack is not None:
                     fixed = SACKOption(
                         blocks=tuple(
-                            ((l - total) % SEQ_MOD, (r - total) % SEQ_MOD)
+                            (seq_add(l, -total), seq_add(r, -total))
                             for l, r in sack.blocks
                         )
                     )

@@ -17,9 +17,9 @@ These model the study's most consequential findings for MPTCP:
 
 from __future__ import annotations
 
-from repro.net.packet import ACK, SEQ_MOD, Endpoint, Segment
+from repro.net.packet import ACK, Endpoint, Segment
 from repro.net.path import FORWARD, REVERSE, PathElement
-from repro.tcp.seq import seq_diff
+from repro.tcp.seq import seq_add, seq_diff
 
 
 class ProactiveAcker(PathElement):
@@ -35,7 +35,7 @@ class ProactiveAcker(PathElement):
     def process(self, segment: Segment, direction: int) -> list[tuple[Segment, int]]:
         if direction == FORWARD and segment.payload and not segment.syn:
             key = (segment.src, segment.dst)
-            end = (segment.seq + len(segment.payload)) % SEQ_MOD
+            end = seq_add(segment.seq, len(segment.payload))
             previous = self._expected.get(key)
             if previous is None or seq_diff(end, previous) > 0:
                 self._expected[key] = end

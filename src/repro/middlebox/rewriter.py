@@ -16,7 +16,8 @@ in the zero-copy datapath it forwards :class:`~repro.net.payload
 from __future__ import annotations
 
 from repro.net.options import SACKOption
-from repro.net.packet import SEQ_MOD, Endpoint, Segment
+from repro.net.packet import Endpoint, Segment
+from repro.tcp.seq import seq_add
 from repro.net.path import FORWARD, PathElement
 from repro.sim.rng import SeededRNG
 
@@ -48,24 +49,24 @@ class SequenceRewriter(PathElement):
             if delta is None and not segment.syn:
                 delta = self._delta_for(segment.src, segment.dst, create=True)
             if delta is not None:
-                segment.seq = (segment.seq + delta) % SEQ_MOD
+                segment.seq = seq_add(segment.seq, delta)
                 self.rewrites += 1
             if self.both_directions:
                 reverse_delta = self._deltas.get((segment.dst, segment.src))
                 if reverse_delta is not None and segment.has_ack:
-                    segment.ack = (segment.ack - reverse_delta) % SEQ_MOD
+                    segment.ack = seq_add(segment.ack, -reverse_delta)
                     self._fix_sack(segment, -reverse_delta)
         else:
             delta = self._deltas.get((segment.dst, segment.src))
             if delta is not None and segment.has_ack:
-                segment.ack = (segment.ack - delta) % SEQ_MOD
+                segment.ack = seq_add(segment.ack, -delta)
                 self._fix_sack(segment, -delta)
                 self.rewrites += 1
             if self.both_directions:
                 own = self._delta_for(segment.src, segment.dst, create=segment.syn)
                 if own is None:
                     own = self._delta_for(segment.src, segment.dst, create=True)
-                segment.seq = (segment.seq + own) % SEQ_MOD
+                segment.seq = seq_add(segment.seq, own)
         return [(segment, direction)]
 
     @staticmethod
@@ -75,7 +76,7 @@ class SequenceRewriter(PathElement):
             return
         fixed = SACKOption(
             blocks=tuple(
-                ((left + delta) % SEQ_MOD, (right + delta) % SEQ_MOD)
+                (seq_add(left, delta), seq_add(right, delta))
                 for left, right in sack.blocks
             )
         )

@@ -21,9 +21,10 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.net.options import fits_option_space
-from repro.net.packet import FIN, PSH, SEQ_MOD, Endpoint, Segment
+from repro.net.packet import FIN, PSH, Endpoint, Segment
 from repro.net.path import PathElement
 from repro.net.payload import as_bytes
+from repro.tcp.seq import seq_add
 
 
 class SegmentSplitter(PathElement):
@@ -55,7 +56,7 @@ class SegmentSplitter(PathElement):
             piece = Segment(
                 src=segment.src,
                 dst=segment.dst,
-                seq=(segment.seq + offset) % SEQ_MOD,
+                seq=seq_add(segment.seq, offset),
                 ack=segment.ack,
                 flags=flags,
                 window=segment.window,
@@ -107,7 +108,7 @@ class SegmentCoalescer(PathElement):
         held = self._held.get(key)
         if held is not None:
             held_segment, held_direction, timer = held
-            contiguous = (held_segment.seq + len(held_segment.payload)) % SEQ_MOD == segment.seq
+            contiguous = seq_add(held_segment.seq, len(held_segment.payload)) == segment.seq
             if (
                 contiguous
                 and held_direction == direction

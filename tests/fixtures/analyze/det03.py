@@ -1,0 +1,32 @@
+"""DET03 fixture: unordered iteration in schedule-tainted functions."""
+
+
+class Node:
+    def __init__(self, sim):
+        self.sim = sim
+        self.peers = set()
+
+    def kick_all(self) -> None:
+        for peer in self.peers:  # line 10: DET03 (set attribute)
+            self.sim.schedule(0.0, peer)
+
+    def kick_local_set(self) -> None:
+        pending = {object(), object()}
+        for item in pending:  # line 15: DET03 (local set)
+            self.sim.schedule(0.0, item)
+
+    def kick_dict(self, table: dict) -> None:
+        for value in table.values():  # line 19: DET03 (dict view)
+            self.sim.schedule(0.0, value)
+
+    def kick_sorted(self) -> None:
+        for peer in sorted(self.peers):  # fine: explicit ordering
+            self.sim.schedule(0.0, peer)
+
+    def waived(self) -> None:
+        for peer in self.peers:  # analyze: ok(DET03): fixture demonstrates a waiver
+            self.sim.schedule(0.0, peer)
+
+    def report(self, table: dict) -> list:
+        # fine: this function never reaches the scheduler
+        return [value for value in table.values()]

@@ -1,0 +1,29 @@
+"""MUT01 fixture: module-level state mutated in worker-reachable code.
+
+``_execute_point`` is a worker-entry seed by name (mirroring
+``repro.experiments.runner``); everything it calls is worker-reachable.
+"""
+
+_CACHE: dict = {}
+_RESULTS: list = []
+_MEMO: dict = {}
+_TOTAL = 0
+
+
+def _execute_point(point):
+    global _TOTAL
+    _TOTAL = _TOTAL + 1  # line 15: MUT01 (global assignment)
+    _CACHE[point] = 1  # line 16: MUT01 (subscript store)
+    helper(point)
+    _MEMO[point] = 1  # analyze: ok(MUT01): fixture demonstrates a waiver
+    return point
+
+
+def helper(point):
+    _RESULTS.append(point)  # line 23: MUT01 (mutator call, reachable via _execute_point)
+
+
+def main_only(point):
+    # fine: never called from a worker entry
+    _CACHE[point] = 2
+    _RESULTS.append(point)

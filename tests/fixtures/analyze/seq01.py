@@ -1,0 +1,27 @@
+"""SEQ01 fixture: raw arithmetic on wrapping sequence identifiers."""
+
+SEQ_MOD = 1 << 32
+
+
+def advance(snd_nxt: int, length: int) -> int:
+    return (snd_nxt + length) % SEQ_MOD  # line 7: SEQ01 (raw '+')
+
+
+def behind(seq_a: int, seq_b: int) -> bool:
+    return seq_a < seq_b  # line 11: SEQ01 (raw ordering comparison)
+
+
+class Flow:
+    def __init__(self) -> None:
+        self.rcv_nxt = 0
+
+    def on_data(self, length: int) -> None:
+        self.rcv_nxt += length  # line 19: SEQ01 (raw '+=')
+
+    def waived(self, length: int) -> None:
+        self.rcv_nxt += length  # analyze: ok(SEQ01): fixture demonstrates a waiver
+
+
+def fine(seq_space: int) -> int:
+    # 'seq_space' is a length, not a sequence number: excluded by name.
+    return seq_space + 1
