@@ -13,7 +13,13 @@ module builds a deliberately over-approximate call graph:
   a module alias, otherwise to **every** project method named ``m``;
 * a nested function (callback/closure) is treated as called by the
   function that defines it — callbacks installed on sockets and timers
-  run from the event loop, so this keeps them inside the taint.
+  run from the event loop, so this keeps them inside the taint;
+* a lambda assigned to a name is registered as a function under that
+  name, so calls to it (and worker fan-out through it) resolve;
+* ``name = functools.partial(fn, ...)`` records an alias: calling or
+  fanning out ``name`` reaches ``fn``;
+* a decorator that is itself a project function gets a call edge to the
+  function it decorates (the decorator receives it and may invoke it).
 
 Over-approximation errs toward *more* taint, which is the safe
 direction for a determinism linter: a false taint at worst demands a
@@ -103,12 +109,83 @@ class _ModuleIndexer(ast.NodeVisitor):
         self.project.register(info)
         if self.func_stack:  # closures run on behalf of their definer
             self.func_stack[-1].calls.append(("child", "", info.fid))
+        for decorator in node.decorator_list:
+            expr = decorator.func if isinstance(decorator, ast.Call) else decorator
+            ref = None
+            if isinstance(expr, ast.Name):
+                ref = expr.id
+            elif isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+                ref = f"{expr.value.id}.{expr.attr}"
+            if ref is not None:
+                # The decorator receives the function and may call it.
+                self.project.decorator_refs.append((self.ctx.posix, ref, info.fid))
         self.func_stack.append(info)
         self.generic_visit(node)
         self.func_stack.pop()
 
     visit_FunctionDef = _visit_function
     visit_AsyncFunctionDef = _visit_function
+
+    # -- named lambdas and partials -------------------------------------
+    def _is_partial(self, node: ast.expr) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        if isinstance(func, ast.Name):
+            target = self.imports.get(func.id)
+            return func.id == "partial" or (
+                target is not None
+                and target[0] == "object"
+                and target[1] == "functools"
+                and target[2] == "partial"
+            )
+        return (
+            isinstance(func, ast.Attribute)
+            and func.attr == "partial"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "functools"
+        )
+
+    def _callable_ref(self, expr: ast.expr) -> Optional[str]:
+        if isinstance(expr, ast.Name):
+            return expr.id
+        if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+            return f"{expr.value.id}.{expr.attr}"
+        return None
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        target = node.targets[0] if len(node.targets) == 1 else None
+        if isinstance(node.value, ast.Lambda) and isinstance(target, ast.Name):
+            self._register_lambda(target.id, node.value)
+            return
+        if self._is_partial(node.value) and isinstance(target, ast.Name):
+            value = node.value
+            assert isinstance(value, ast.Call)
+            if value.args:
+                ref = self._callable_ref(value.args[0])
+                if ref is not None:
+                    self.project.partial_aliases[(self.ctx.posix, target.id)] = ref
+        self.generic_visit(node)
+
+    def _register_lambda(self, name: str, node: ast.Lambda) -> None:
+        qual_parts = [info.name for info in self.func_stack]
+        if self.class_stack:
+            qual_parts = [".".join(self.class_stack)] + qual_parts
+        qualname = ".".join(qual_parts + [name]) if qual_parts else name
+        info = FunctionInfo(
+            fid=f"{self.ctx.posix}::{qualname}:{node.lineno}",
+            name=name,
+            qualname=qualname,
+            class_name=self.class_stack[-1] if self.class_stack else None,
+            posix=self.ctx.posix,
+            node=node,
+        )
+        self.project.register(info)
+        if self.func_stack:  # runs on behalf of its definer (callback)
+            self.func_stack[-1].calls.append(("child", "", info.fid))
+        self.func_stack.append(info)
+        self.generic_visit(node)
+        self.func_stack.pop()
 
     # -- call collection ------------------------------------------------
     def visit_Call(self, node: ast.Call) -> None:
@@ -147,6 +224,10 @@ class _ModuleIndexer(ast.NodeVisitor):
             for keyword in node.keywords:
                 if keyword.arg == "fn":
                     target = keyword.value
+        if target is not None and self._is_partial(target):
+            # ``sweep.add(partial(fn, ...))`` fans out to fn.
+            assert isinstance(target, ast.Call)
+            target = target.args[0] if target.args else None
         if isinstance(target, ast.Name):
             self.project.worker_entry_refs.append(
                 (self.ctx.posix, dict(self.imports), target.id)
@@ -161,6 +242,7 @@ class Project:
     """Cross-file index: functions, call edges, and the two taint sets."""
 
     def __init__(self, contexts: list[FileContext]):
+        self.contexts: list[FileContext] = list(contexts)
         self.functions: dict[str, FunctionInfo] = {}
         self.by_node: dict[int, str] = {}  # id(ast node) -> fid
         self.methods_by_name: dict[str, list[str]] = {}
@@ -168,6 +250,8 @@ class Project:
         self.module_imports: dict[str, dict[str, tuple]] = {}
         self.module_by_dotted: dict[str, str] = {}  # "repro.sim.engine" -> posix
         self.worker_entry_refs: list[tuple[str, dict, str]] = []
+        self.partial_aliases: dict[tuple[str, str], str] = {}  # (posix, name) -> ref
+        self.decorator_refs: list[tuple[str, str, str]] = []  # (posix, ref, decorated fid)
 
         for ctx in contexts:
             self._register_module_name(ctx)
@@ -198,7 +282,7 @@ class Project:
             self.module_functions.setdefault((info.posix, info.name), info.fid)
 
     # -- edge resolution ------------------------------------------------
-    def _resolve_name(self, posix: str, name: str) -> list[str]:
+    def _resolve_name(self, posix: str, name: str, _depth: int = 0) -> list[str]:
         local = self.module_functions.get((posix, name))
         if local is not None:
             return [local]
@@ -209,6 +293,10 @@ class Project:
                 imported = self.module_functions.get((module_posix, target[2]))
                 if imported is not None:
                     return [imported]
+        # ``name = functools.partial(fn, ...)``: follow to fn.
+        alias = self.partial_aliases.get((posix, name))
+        if alias is not None and _depth < 4:
+            return self._resolve_ref(posix, alias, _depth + 1)
         # A class being constructed: treat as calling its __init__.
         if name and name[0].isupper():
             return [
@@ -217,6 +305,22 @@ class Project:
                 if self.functions[fid].class_name == name
             ]
         return []
+
+    def _resolve_ref(self, posix: str, ref: str, _depth: int = 0) -> list[str]:
+        """Resolve a ``name`` or ``receiver.name`` reference string."""
+        if "." not in ref:
+            return self._resolve_name(posix, ref, _depth)
+        receiver, name = ref.split(".", 1)
+        if receiver in ("self", "cls"):
+            return list(self.methods_by_name.get(name, []))
+        target = self.module_imports.get(posix, {}).get(receiver)
+        if target is not None and target[0] == "module":
+            module_posix = self.module_by_dotted.get(target[1])
+            if module_posix is not None:
+                fid = self.module_functions.get((module_posix, name))
+                if fid is not None:
+                    return [fid]
+        return list(self.methods_by_name.get(name, []))
 
     def _resolve_edges(self) -> None:
         for fid, info in self.functions.items():
@@ -245,10 +349,15 @@ class Project:
                                 self.callees[fid].add(imported)
                                 continue
                     self.callees[fid].update(self.methods_by_name.get(name, []))
+        # A project-function decorator receives — and may call — the
+        # function it decorates.
+        for posix, ref, decorated_fid in self.decorator_refs:
+            for deco_fid in self._resolve_ref(posix, ref):
+                self.callees.setdefault(deco_fid, set()).add(decorated_fid)
 
     # -- taint seeds ----------------------------------------------------
     def _schedule_seeds(self) -> set[str]:
-        seeds = set()
+        seeds: set[str] = set()
         for fid, info in self.functions.items():
             if info.posix.endswith(ENGINE_PATH_SUFFIX):
                 seeds.add(fid)

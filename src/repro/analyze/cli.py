@@ -18,7 +18,7 @@ from repro.analyze.rules import ALL_RULES
 
 
 def _render_text(report: Report, show_waived: bool) -> str:
-    lines = []
+    lines: list[str] = []
     for finding in report.findings:
         if finding.waived and not show_waived:
             continue
@@ -35,7 +35,7 @@ def _render_text(report: Report, show_waived: bool) -> str:
 
 
 def _render_rules() -> str:
-    lines = []
+    lines: list[str] = []
     for rule in ALL_RULES:
         lines.append(f"{rule.code}  {rule.title}")
         lines.append(f"       {rule.rationale}")
@@ -63,6 +63,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--show-waived", action="store_true", help="print waived findings too (text mode)"
     )
     parser.add_argument("--list-rules", action="store_true", help="describe the rules and exit")
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="only scan files git reports as changed/untracked (pre-commit speed)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        help="parse-pool size (default: REPRO_WORKERS env, else CPU count)",
+    )
+    parser.add_argument(
+        "--fsm-relation",
+        metavar="FILE",
+        help="write the FSM01 extracted transition relation as JSON (CI artifact)",
+    )
     options = parser.parse_args(argv)
 
     if options.list_rules:
@@ -70,10 +86,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     try:
-        report = run_analysis(options.paths or ["src"], rule_codes=options.rules)
+        report = run_analysis(
+            options.paths or ["src"],
+            rule_codes=options.rules,
+            changed_only=options.changed_only,
+            workers=options.workers,
+        )
     except (FileNotFoundError, KeyError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+
+    if options.fsm_relation:
+        from repro.analyze.statemachine import extract_relation
+
+        with open(options.fsm_relation, "w", encoding="utf-8") as handle:
+            json.dump(extract_relation(options.paths or ["src"]), handle, indent=2)
+            handle.write("\n")
 
     if options.out:
         with open(options.out, "w", encoding="utf-8") as handle:

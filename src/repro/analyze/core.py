@@ -15,7 +15,10 @@ import ast
 import io
 import os
 import re
+import subprocess
+import time
 import tokenize
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Iterable, Iterator, Optional, Sequence
@@ -59,6 +62,7 @@ class FileContext:
     tree: ast.Module
     line_waivers: dict[int, set[str]] = field(default_factory=dict)
     file_waivers: set[str] = field(default_factory=set)
+    file_waiver_lines: dict[str, int] = field(default_factory=dict)
 
     @property
     def posix(self) -> str:
@@ -78,6 +82,7 @@ class Report:
     parse_errors: list[str]
     files_scanned: int
     rules: list[str]
+    elapsed_seconds: float = 0.0
 
     @property
     def unwaived(self) -> list[Finding]:
@@ -91,6 +96,7 @@ class Report:
         return {
             "clean": self.clean,
             "files_scanned": self.files_scanned,
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
             "rules": self.rules,
             "parse_errors": list(self.parse_errors),
             "findings": [f.as_dict() for f in self.findings if not f.waived],
@@ -98,8 +104,11 @@ class Report:
         }
 
 
-def parse_waivers(source: str) -> tuple[dict[int, set[str]], set[str]]:
-    """Map line -> waived rule codes, plus the file-wide waiver set."""
+def parse_waivers(
+    source: str,
+) -> tuple[dict[int, set[str]], set[str], dict[str, int]]:
+    """Map line -> waived rule codes, the file-wide waiver set, and the
+    line each file-wide waiver first appears on (for staleness reports)."""
     comments: list[tuple[int, str]]
     try:
         comments = [
@@ -116,14 +125,17 @@ def parse_waivers(source: str) -> tuple[dict[int, set[str]], set[str]]:
         ]
     line_waivers: dict[int, set[str]] = {}
     file_waivers: set[str] = set()
+    file_waiver_lines: dict[str, int] = {}
     for lineno, text in comments:
         for kind, codes in WAIVER_RE.findall(text):
             rules = {code.strip() for code in codes.split(",") if code.strip()}
             if kind == "file-ok":
                 file_waivers |= rules
+                for rule in rules:
+                    file_waiver_lines.setdefault(rule, lineno)
             else:
                 line_waivers.setdefault(lineno, set()).update(rules)
-    return line_waivers, file_waivers
+    return line_waivers, file_waivers, file_waiver_lines
 
 
 def _display_path(path: Path) -> str:
@@ -139,7 +151,7 @@ def load_context(path: Path) -> FileContext:
     resolved = path.resolve()
     source = resolved.read_text(encoding="utf-8")
     tree = ast.parse(source, filename=str(resolved))
-    line_waivers, file_waivers = parse_waivers(source)
+    line_waivers, file_waivers, file_waiver_lines = parse_waivers(source)
     return FileContext(
         path=resolved,
         display=_display_path(resolved),
@@ -147,7 +159,100 @@ def load_context(path: Path) -> FileContext:
         tree=tree,
         line_waivers=line_waivers,
         file_waivers=file_waivers,
+        file_waiver_lines=file_waiver_lines,
     )
+
+
+def _load_for_pool(path_str: str):
+    """Worker-side loader: returns (context, error_line) with exactly one
+    of the two set.  Module-level so ProcessPoolExecutor can pickle it."""
+    path = Path(path_str)
+    try:
+        return load_context(path), None
+    except SyntaxError as error:
+        return None, (
+            f"{_display_path(path)}:{error.lineno or 0}: syntax error: {error.msg}"
+        )
+
+
+def default_workers() -> int:
+    """The repo-wide ``REPRO_WORKERS`` convention (see
+    experiments/runner.py): env override, else one worker per CPU."""
+    raw = os.environ.get("REPRO_WORKERS", "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            raise ValueError(f"REPRO_WORKERS must be an integer, got {raw!r}") from None
+    return os.cpu_count() or 1
+
+
+# Forking a pool costs more than parsing a handful of files.
+_PARALLEL_THRESHOLD = 16
+
+
+def _load_contexts(
+    files: list[Path], workers: Optional[int] = None
+) -> tuple[list[FileContext], list[str]]:
+    count = default_workers() if workers is None else max(1, workers)
+    contexts: list[FileContext] = []
+    parse_errors: list[str] = []
+    if count > 1 and len(files) >= _PARALLEL_THRESHOLD:
+        try:
+            with ProcessPoolExecutor(max_workers=count) as pool:
+                chunk = max(1, len(files) // (count * 4))
+                results = list(
+                    pool.map(_load_for_pool, [str(p) for p in files], chunksize=chunk)
+                )
+            for ctx, error in results:
+                if ctx is not None:
+                    contexts.append(ctx)
+                else:
+                    parse_errors.append(error)
+            return contexts, parse_errors
+        except (OSError, PermissionError):
+            contexts, parse_errors = [], []  # no fork on this platform: serial
+    for path in files:
+        ctx, error = _load_for_pool(str(path))
+        if ctx is not None:
+            contexts.append(ctx)
+        else:
+            parse_errors.append(error)
+    return contexts, parse_errors
+
+
+def git_changed_files(cwd: Optional[str] = None) -> Optional[set[Path]]:
+    """Python files with uncommitted changes (staged, unstaged, or
+    untracked) per ``git status``; None when git is unavailable."""
+    try:
+        proc = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True,
+            text=True,
+            check=True,
+            cwd=cwd,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    root_proc = subprocess.run(
+        ["git", "rev-parse", "--show-toplevel"],
+        capture_output=True,
+        text=True,
+        cwd=cwd,
+    )
+    root = Path(root_proc.stdout.strip() or ".")
+    changed: set[Path] = set()
+    for line in proc.stdout.splitlines():
+        if len(line) < 4:
+            continue
+        entry = line[3:]
+        if " -> " in entry:  # rename: the new name is what exists now
+            entry = entry.split(" -> ", 1)[1]
+        entry = entry.strip().strip('"')
+        path = root / entry
+        if path.suffix == ".py" and path.exists():
+            changed.add(path.resolve())
+    return changed
 
 
 def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
@@ -177,33 +282,60 @@ def run_analysis(
     paths: Sequence[str | Path],
     rule_codes: Optional[Sequence[str]] = None,
     rules: Optional[Sequence] = None,
+    changed_only: bool = False,
+    workers: Optional[int] = None,
 ) -> Report:
-    """Run the selected rules (default: all) over the given paths."""
+    """Run the selected rules (default: all) over the given paths.
+
+    ``changed_only`` keeps only files git reports as modified or
+    untracked (full scan when git is unavailable).  ``workers`` caps the
+    parse pool (default: the REPRO_WORKERS convention).
+    """
     from repro.analyze.callgraph import Project
     from repro.analyze.rules import select_rules
 
+    # Wall-clock, not simulated: this measures the linter itself, and the
+    # duration lands in the JSON report for CI trend-watching.
+    started = time.perf_counter()  # analyze: ok(DET02)
+
     active = list(rules) if rules is not None else select_rules(rule_codes)
 
-    contexts: list[FileContext] = []
-    parse_errors: list[str] = []
-    for path in iter_python_files(paths):
-        try:
-            contexts.append(load_context(path))
-        except SyntaxError as error:
-            parse_errors.append(
-                f"{_display_path(Path(path))}:{error.lineno or 0}: syntax error: {error.msg}"
-            )
+    files = list(iter_python_files(paths))
+    partial_scan = False
+    if changed_only:
+        changed = git_changed_files()
+        if changed is not None:
+            files = [path for path in files if path.resolve() in changed]
+            partial_scan = True
+    contexts, parse_errors = _load_contexts(files, workers=workers)
 
     project = None
     if any(rule.needs_project for rule in active):
         project = Project(contexts)
 
+    active_codes = {rule.code for rule in active}
     findings: list[Finding] = []
+    by_ctx: dict[str, list[Finding]] = {}
     for ctx in contexts:
+        ctx_findings = by_ctx.setdefault(ctx.posix, [])
         for rule in active:
             if rule.allows(ctx):
                 continue
             for finding in rule.check(ctx, project):
+                finding = replace(
+                    finding, waived=ctx.is_waived(finding.rule, finding.line)
+                )
+                findings.append(finding)
+                ctx_findings.append(finding)
+    # Post-pass (stale-waiver detection needs the full finding set).
+    for ctx in contexts:
+        for rule in active:
+            post = getattr(rule, "post_check", None)
+            if post is None or rule.allows(ctx):
+                continue
+            if partial_scan and getattr(rule, "full_scan_only", False):
+                continue
+            for finding in post(ctx, by_ctx.get(ctx.posix, []), active_codes):
                 findings.append(
                     replace(finding, waived=ctx.is_waived(finding.rule, finding.line))
                 )
@@ -213,4 +345,5 @@ def run_analysis(
         parse_errors=parse_errors,
         files_scanned=len(contexts),
         rules=[rule.code for rule in active],
+        elapsed_seconds=time.perf_counter() - started,  # analyze: ok(DET02)
     )

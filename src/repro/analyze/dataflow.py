@@ -1,0 +1,577 @@
+"""DOM01 — sequence-domain dataflow analysis.
+
+MPTCP juggles two sequence spaces: the subflow sequence number space
+(SSN — what :class:`~repro.net.packet.Segment` carries in ``seq``/``ack``
+and what ``TCPSocket`` counts in) and the data sequence space (DSN — the
+connection-level stream offsets carried in DSS mappings).  The paper's
+hardest bugs (§3) are values silently crossing between the two, so this
+pass gives every expression an abstract *domain* and flags any
+arithmetic, comparison, argument-passing or assignment that mixes SSN
+with DSN without going through a blessed conversion helper.
+
+Domains form a tiny lattice::
+
+    SSN      subflow sequence space (wire 32-bit or absolute units)
+    DSN      data sequence space (wire 32-bit or absolute offsets)
+    LENGTH   byte counts, window sizes, deltas — attachable to either
+    OPAQUE   unknown / not sequence-like (absorbs nothing, flags nothing)
+
+Sources of domain facts, in priority order:
+
+1. ``# domain:`` annotations.  On an assignment line, ``# domain: ssn``
+   forces the target's domain.  On a ``def`` line,
+   ``# domain: a=ssn, n=length, return=dsn`` declares parameter and
+   return domains (undeclared names fall back to the seed table).
+2. The seed table below: well-known field and variable names from the
+   stack (``Segment.seq``, DSS mapping fields, ``snd_nxt``...), plus
+   the polymorphic signatures of the :mod:`repro.tcp.seq` helpers.
+3. Function summaries over the PR-4 call graph: a function whose
+   ``return`` expressions all evaluate to one non-OPAQUE domain exports
+   it to its callers (iterated to fixpoint, so chains resolve).
+
+The only blessed SSN<->wire / DSN<->wire casts are the
+``mptcp.connection`` tx/rx wire-DSN mappers and the ``tcp.socket``
+wire-seq helpers; their calls adopt the declared result domain without
+argument complaints.  Everything else that crosses SSN/DSN must carry
+an ``# analyze: ok(DOM01)`` waiver with a rationale (grep the tree for
+the fallback sites — the subflow stream *is* the data stream there).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.analyze.core import FileContext, Finding
+
+SSN = "SSN"
+DSN = "DSN"
+LENGTH = "LENGTH"
+OPAQUE = "OPAQUE"
+
+_DOMAINS = {"ssn": SSN, "dsn": DSN, "length": LENGTH, "opaque": OPAQUE}
+
+DOMAIN_COMMENT_RE = re.compile(r"#\s*domain:\s*(?P<spec>[A-Za-z0-9_=,\s]+)")
+
+# ---------------------------------------------------------------------------
+# Seed table: well-known names -> domain.  Applies to attribute reads
+# (any receiver), bare variable reads, and un-annotated parameters.
+# ---------------------------------------------------------------------------
+SEED_NAMES: dict[str, str] = {
+    # --- subflow sequence space (SSN) ---------------------------------
+    "seq": SSN,  # Segment.seq
+    "ack": SSN,  # Segment.ack
+    "end_seq": SSN,
+    "seq32": SSN,
+    "ack32": SSN,
+    "seq_unit": SSN,
+    "ack_unit": SSN,
+    "snd_nxt": SSN,
+    "snd_una": SSN,
+    "rcv_nxt": SSN,
+    "iss": SSN,
+    "irs": SSN,
+    "rcv_adv_edge": SSN,
+    "_rcv_adv_edge": SSN,
+    "ssn": SSN,
+    "ssn_start": SSN,
+    "ssn_end": SSN,
+    "ssn_rel_wire": SSN,
+    "subflow_seq": SSN,  # DSS option field: mapping start in SSN space
+    # --- data sequence space (DSN) ------------------------------------
+    "dsn": DSN,
+    "dsn_wire": DSN,
+    "idsn": DSN,
+    "local_idsn": DSN,
+    "remote_idsn": DSN,
+    "data_ack": DSN,
+    "data_nxt": DSN,
+    "data_una": DSN,
+    "rcv_data_nxt": DSN,
+    "rcv_data_adv_edge": DSN,
+    "data_start": DSN,
+    "data_end": DSN,
+    "data_seq": DSN,
+    "data_fin_offset": DSN,
+    # --- lengths / windows --------------------------------------------
+    "length": LENGTH,
+    "seq_space": LENGTH,
+    "mss": LENGTH,
+    "rcv_wnd": LENGTH,
+    "window": LENGTH,
+}
+
+# Polymorphic tcp.seq helpers: ("same", n_args) -> both operands must share
+# a domain; the entry's second element is the result rule.
+#   "first"  -> result is the first argument's domain
+#   "length" -> result is LENGTH
+#   "opaque" -> result is OPAQUE (booleans)
+#   "join"   -> join of the argument domains
+SEQ_HELPERS: dict[str, str] = {
+    "seq_add": "first",
+    "seq_diff": "length",
+    "seq_lt": "opaque",
+    "seq_le": "opaque",
+    "seq_gt": "opaque",
+    "seq_ge": "opaque",
+    "seq_between": "opaque",
+    "seq_max": "join",
+    "seq_min": "join",
+}
+
+# Blessed casts: the only helpers allowed to change a value's domain.
+# Calls adopt the declared result without argument-domain complaints.
+BLESSED_CASTS: dict[str, str] = {
+    # mptcp.connection wire-DSN mappers
+    "tx_wire_dsn": DSN,
+    "tx_abs_offset": DSN,
+    "rx_wire_dsn": DSN,
+    "rx_abs_offset": DSN,
+    # tcp.socket wire<->unit helpers (SSN stays SSN, wrap changes)
+    "_wire_seq": SSN,
+    "_wire_rcv_seq": SSN,
+    "_unit_from_seq": SSN,
+    "_unit_from_ack": SSN,
+}
+
+
+def join(a: str, b: str) -> str:
+    """Optimistic join: OPAQUE yields to a known domain, conflicts go
+    OPAQUE (never invent a domain that might be wrong)."""
+    if a == b:
+        return a
+    if a == OPAQUE:
+        return b
+    if b == OPAQUE:
+        return a
+    return OPAQUE
+
+
+def _parse_spec(spec: str) -> dict[str, str]:
+    """``"ssn"`` -> ``{"": "SSN"}``; ``"a=ssn, return=dsn"`` -> mapping."""
+    out: dict[str, str] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" in part:
+            name, _, value = part.partition("=")
+            domain = _DOMAINS.get(value.strip().lower())
+            if domain is not None:
+                out[name.strip()] = domain
+        else:
+            domain = _DOMAINS.get(part.lower())
+            if domain is not None:
+                out[""] = domain
+    return out
+
+
+def domain_comments(source: str) -> dict[int, dict[str, str]]:
+    """line number -> parsed ``# domain:`` spec for that line."""
+    out: dict[int, dict[str, str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return out
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = DOMAIN_COMMENT_RE.search(tok.string)
+        if match:
+            parsed = _parse_spec(match.group("spec"))
+            if parsed:
+                out[tok.start[0]] = parsed
+    return out
+
+
+@dataclass
+class FunctionSummary:
+    """Declared or inferred domains of one function."""
+
+    params: dict[str, str] = field(default_factory=dict)
+    returns: str = OPAQUE
+    declared: bool = False  # came from a ``# domain:`` def annotation
+
+
+# ---------------------------------------------------------------------------
+# The abstract interpreter
+# ---------------------------------------------------------------------------
+class _DomainEval:
+    """Evaluates expressions to domains inside one function, optionally
+    collecting findings (summary inference runs with ``findings=None``)."""
+
+    def __init__(
+        self,
+        rule,
+        ctx: FileContext,
+        fn: ast.AST,
+        annos: dict[int, dict[str, str]],
+        summaries: "_SummaryTable",
+        findings: Optional[list] = None,
+    ):
+        self.rule = rule
+        self.ctx = ctx
+        self.fn = fn
+        self.annos = annos
+        self.summaries = summaries
+        self.findings = findings
+        self.env: dict[str, str] = {}
+        self.returns: list[str] = []
+        self._seed_params()
+
+    # -- setup ----------------------------------------------------------
+    def _seed_params(self) -> None:
+        declared = self.annos.get(getattr(self.fn, "lineno", -1), {})
+        args = getattr(self.fn, "args", None)
+        if args is None:
+            return
+        every = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        for arg in every:
+            if arg.arg in ("self", "cls"):
+                continue
+            domain = declared.get(arg.arg) or SEED_NAMES.get(arg.arg, OPAQUE)
+            self.env[arg.arg] = domain
+
+    # -- findings -------------------------------------------------------
+    def _flag(self, node: ast.AST, message: str) -> None:
+        if self.findings is not None:
+            self.findings.append(self.rule.finding(self.ctx, node, message))
+
+    # -- expression evaluation ------------------------------------------
+    def eval(self, node: ast.expr) -> str:
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id) or SEED_NAMES.get(node.id, OPAQUE)
+        if isinstance(node, ast.Attribute):
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                key = f"self.{node.attr}"
+                if key in self.env:
+                    return self.env[key]
+            return SEED_NAMES.get(node.attr, OPAQUE)
+        if isinstance(node, ast.Constant):
+            return LENGTH if isinstance(node.value, int) and not isinstance(node.value, bool) else OPAQUE
+        if isinstance(node, ast.BinOp):
+            return self._eval_binop(node)
+        if isinstance(node, ast.UnaryOp):
+            return self.eval(node.operand)
+        if isinstance(node, ast.Compare):
+            return self._eval_compare(node)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test)
+            return join(self.eval(node.body), self.eval(node.orelse))
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                self.eval(value)
+            return OPAQUE
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for elt in node.elts:
+                self.eval(elt)
+            return OPAQUE
+        if isinstance(node, ast.NamedExpr):
+            domain = self.eval(node.value)
+            if isinstance(node.target, ast.Name):
+                self.env[node.target.id] = domain
+            return domain
+        return OPAQUE
+
+    def _eval_binop(self, node: ast.BinOp) -> str:
+        left = self.eval(node.left)
+        right = self.eval(node.right)
+        if {left, right} == {SSN, DSN}:
+            op = {ast.Add: "+", ast.Sub: "-"}.get(type(node.op), type(node.op).__name__)
+            self._flag(
+                node,
+                f"cross-domain arithmetic: {left} {op} {right} — convert "
+                "through the blessed wire-DSN mappers (tx_/rx_) first",
+            )
+            return OPAQUE
+        if isinstance(node.op, ast.Sub):
+            if left == right and left in (SSN, DSN):
+                return LENGTH  # distance within one space
+            if left in (SSN, DSN):
+                return left  # SSN - LENGTH/OPAQUE stays SSN
+            return LENGTH if LENGTH in (left, right) else OPAQUE
+        if isinstance(node.op, ast.Add):
+            if left in (SSN, DSN):
+                return left
+            if right in (SSN, DSN):
+                return right
+            return LENGTH if left == right == LENGTH else OPAQUE
+        if isinstance(node.op, (ast.Mod, ast.BitAnd)):
+            return left  # x % SEQ_MOD, x & MASK32 keep x's space
+        return OPAQUE
+
+    def _eval_compare(self, node: ast.Compare) -> str:
+        domains = [self.eval(node.left)] + [self.eval(c) for c in node.comparators]
+        for a, b in zip(domains, domains[1:]):
+            if {a, b} == {SSN, DSN}:
+                self._flag(
+                    node,
+                    "cross-domain comparison: SSN compared with DSN — these "
+                    "spaces are unrelated; map through the DSS mapping first",
+                )
+                break
+        return OPAQUE
+
+    def _callee_name(self, node: ast.Call) -> Optional[str]:
+        if isinstance(node.func, ast.Name):
+            return node.func.id
+        if isinstance(node.func, ast.Attribute):
+            return node.func.attr
+        return None
+
+    def _eval_call(self, node: ast.Call) -> str:
+        name = self._callee_name(node)
+        arg_domains = [self.eval(arg) for arg in node.args]
+        for keyword in node.keywords:
+            self.eval(keyword.value)
+        if name is None:
+            return OPAQUE
+        if name in SEQ_HELPERS:
+            return self._eval_seq_helper(node, name, arg_domains)
+        if name in BLESSED_CASTS:
+            return BLESSED_CASTS[name]
+        summary = self.summaries.lookup(self.ctx.posix, node.func)
+        if summary is None:
+            return OPAQUE
+        if summary.declared:
+            names = list(summary.params)
+            for index, got in enumerate(arg_domains):
+                if index >= len(names):
+                    break
+                expected = summary.params[names[index]]
+                if {expected, got} == {SSN, DSN}:
+                    self._flag(
+                        node,
+                        f"cross-domain argument: {name}() expects {expected} "
+                        f"for '{names[index]}', got {got}",
+                    )
+            for keyword in node.keywords:
+                if keyword.arg and keyword.arg in summary.params:
+                    expected = summary.params[keyword.arg]
+                    got = self.eval(keyword.value)
+                    if {expected, got} == {SSN, DSN}:
+                        self._flag(
+                            node,
+                            f"cross-domain argument: {name}() expects "
+                            f"{expected} for '{keyword.arg}', got {got}",
+                        )
+        return summary.returns
+
+    def _eval_seq_helper(self, node: ast.Call, name: str, arg_domains: list) -> str:
+        spacey = [d for d in arg_domains if d in (SSN, DSN)]
+        if SSN in spacey and DSN in spacey:
+            self._flag(
+                node,
+                f"cross-domain arithmetic: {name}() mixes SSN and DSN "
+                "operands — these live in unrelated sequence spaces",
+            )
+            return OPAQUE
+        result = SEQ_HELPERS[name]
+        if result == "first":
+            return arg_domains[0] if arg_domains else OPAQUE
+        if result == "length":
+            return LENGTH
+        if result == "join":
+            out = OPAQUE
+            for domain in arg_domains:
+                out = join(out, domain)
+            return out
+        return OPAQUE
+
+    # -- statement walking ----------------------------------------------
+    def run(self) -> Iterator:
+        self._walk(getattr(self.fn, "body", []))
+        if self.findings:
+            yield from self.findings
+
+    def _walk(self, stmts: list) -> None:
+        for stmt in stmts:
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested defs are analysed on their own
+        if isinstance(stmt, ast.Assign):
+            domain = self.eval(stmt.value)
+            for target in stmt.targets:
+                self._assign(target, domain, stmt)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._assign(stmt.target, self.eval(stmt.value), stmt)
+        elif isinstance(stmt, ast.AugAssign):
+            target_domain = self.eval(stmt.target)
+            value_domain = self.eval(stmt.value)
+            if {target_domain, value_domain} == {SSN, DSN}:
+                self._flag(
+                    stmt,
+                    f"cross-domain arithmetic: {target_domain} "
+                    f"augmented with {value_domain}",
+                )
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.returns.append(self.eval(stmt.value))
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value)
+        elif isinstance(stmt, ast.If):
+            self.eval(stmt.test)
+            self._walk(stmt.body)
+            self._walk(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self.eval(stmt.test)
+            self._walk(stmt.body)
+            self._walk(stmt.orelse)
+        elif isinstance(stmt, ast.For):
+            self.eval(stmt.iter)
+            self._walk(stmt.body)
+            self._walk(stmt.orelse)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self.eval(item.context_expr)
+            self._walk(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._walk(stmt.body)
+            for handler in stmt.handlers:
+                self._walk(handler.body)
+            self._walk(stmt.orelse)
+            self._walk(stmt.finalbody)
+        elif isinstance(stmt, (ast.Assert, ast.Raise)):
+            for value in ast.iter_child_nodes(stmt):
+                if isinstance(value, ast.expr):
+                    self.eval(value)
+
+    def _assign(self, target: ast.expr, value_domain: str, stmt: ast.stmt) -> None:
+        forced = self.annos.get(stmt.lineno, {}).get("")
+        key: Optional[str] = None
+        declared: Optional[str] = None
+        if isinstance(target, ast.Name):
+            key = target.id
+            declared = SEED_NAMES.get(target.id)
+        elif (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            key = f"self.{target.attr}"
+            declared = SEED_NAMES.get(target.attr)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._assign(elt, OPAQUE, stmt)
+            return
+        if key is None:
+            return
+        if forced is not None:
+            self.env[key] = forced
+            return
+        if declared in (SSN, DSN) and {declared, value_domain} == {SSN, DSN}:
+            self._flag(
+                stmt,
+                f"cross-domain assignment: {value_domain} value assigned to "
+                f"{declared} target '{key}' without a blessed conversion",
+            )
+            self.env[key] = OPAQUE
+            return
+        self.env[key] = value_domain if declared is None else join(declared, value_domain)
+
+
+# ---------------------------------------------------------------------------
+# Project-wide summary table
+# ---------------------------------------------------------------------------
+class _SummaryTable:
+    """Declared + inferred function summaries, resolvable from call sites."""
+
+    def __init__(self, rule, project):
+        self.rule = rule
+        self.project = project
+        self.by_fid: dict[str, FunctionSummary] = {}
+        self._annos: dict[str, dict[int, dict[str, str]]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        contexts = getattr(self.project, "contexts", [])
+        for ctx in contexts:
+            self._annos[ctx.posix] = domain_comments(ctx.source)
+        # Pass 1: declared summaries from def-line annotations.
+        for fid, info in sorted(self.project.functions.items()):
+            annos = self._annos.get(info.posix, {})
+            spec = annos.get(getattr(info.node, "lineno", -1))
+            summary = FunctionSummary()
+            if spec:
+                summary.declared = True
+                summary.returns = spec.get("return", OPAQUE)
+                args = getattr(info.node, "args", None)
+                if args is not None:
+                    for arg in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+                        if arg.arg in ("self", "cls"):
+                            continue
+                        if arg.arg in spec:
+                            summary.params[arg.arg] = spec[arg.arg]
+            self.by_fid[fid] = summary
+        # Pass 2: infer return domains to fixpoint (bounded).
+        contexts_by_posix = {ctx.posix: ctx for ctx in contexts}
+        for _ in range(3):
+            changed = False
+            for fid, info in sorted(self.project.functions.items()):
+                summary = self.by_fid[fid]
+                if summary.declared or summary.returns != OPAQUE:
+                    continue
+                ctx = contexts_by_posix.get(info.posix)
+                if ctx is None or not isinstance(
+                    info.node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                evaluator = _DomainEval(
+                    self.rule, ctx, info.node, self._annos[info.posix], self, findings=None
+                )
+                list(evaluator.run())
+                returns = evaluator.returns
+                if returns:
+                    inferred = returns[0]
+                    for domain in returns[1:]:
+                        inferred = inferred if inferred == domain else OPAQUE
+                    if inferred != OPAQUE:
+                        summary.returns = inferred
+                        changed = True
+            if not changed:
+                break
+
+    def annotations_for(self, posix: str) -> dict[int, dict[str, str]]:
+        return self._annos.get(posix, {})
+
+    def lookup(self, posix: str, func: ast.expr) -> Optional[FunctionSummary]:
+        if isinstance(func, ast.Name):
+            fids = self.project._resolve_name(posix, func.id)
+            summaries = [self.by_fid[fid] for fid in fids if fid in self.by_fid]
+        elif isinstance(func, ast.Attribute):
+            fids = self.project.methods_by_name.get(func.attr, [])
+            summaries = [self.by_fid[fid] for fid in fids if fid in self.by_fid]
+        else:
+            return None
+        if not summaries:
+            return None
+        first = summaries[0]
+        for other in summaries[1:]:
+            if other.returns != first.returns or other.params != first.params:
+                return None  # ambiguous across classes: stay silent
+        return first
+
+
+def check_file(rule, ctx: FileContext, project) -> Iterator[Finding]:
+    """Run the domain interpreter over every function in ``ctx``."""
+    if project is None:
+        return
+    table = getattr(project, "_dom01_summaries", None)
+    if table is None or table.rule is not rule:
+        table = _SummaryTable(rule, project)
+        project._dom01_summaries = table
+    annos = table.annotations_for(ctx.posix)
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            findings: list = []
+            evaluator = _DomainEval(rule, ctx, node, annos, table, findings=findings)
+            yield from evaluator.run()

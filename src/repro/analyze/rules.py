@@ -1,5 +1,7 @@
 """The rule set: DET01/DET02/DET03 (determinism), SEQ01 (wrap safety),
-EXC01 (silent failure), MUT01 (worker-process state).
+EXC01 (silent failure), MUT01 (worker-process state), DOM01 (SSN/DSN
+sequence-domain dataflow), FSM01 (state-machine spec conformance),
+WVR01 (stale waivers).
 
 Each rule is a small class with a ``code``, a human ``title``, a
 ``rationale`` shown by ``--list-rules``, an ``allow`` tuple of path
@@ -605,6 +607,123 @@ class Mut01WorkerModuleState(Rule):
 
 
 # ---------------------------------------------------------------------------
+# DOM01 — SSN/DSN sequence-domain dataflow
+# ---------------------------------------------------------------------------
+class Dom01SequenceDomains(Rule):
+    code = "DOM01"
+    title = "no mixing of SSN and DSN sequence spaces"
+    rationale = (
+        "Subflow sequence numbers (SSN) and data sequence numbers (DSN in "
+        "DSS mappings) are unrelated spaces; the paper's hardest bugs are "
+        "values silently crossing between them.  An abstract interpreter "
+        "tags every expression {SSN, DSN, LENGTH, OPAQUE} from '# domain:' "
+        "annotations, a seed table, and call-graph summaries, and flags "
+        "cross-domain arithmetic/comparison/assignment/argument-passing.  "
+        "The mptcp.connection tx/rx wire-DSN mappers are the only blessed "
+        "casts."
+    )
+    allow = ("repro/tcp/seq.py",)
+    needs_project = True
+
+    def check(self, ctx: FileContext, project) -> Iterator[Finding]:
+        from repro.analyze import dataflow
+
+        yield from dataflow.check_file(self, ctx, project)
+
+
+# ---------------------------------------------------------------------------
+# FSM01 — protocol state-machine conformance
+# ---------------------------------------------------------------------------
+class Fsm01StateMachineConformance(Rule):
+    code = "FSM01"
+    title = "state transitions must match the RFC spec tables"
+    rationale = (
+        "The TCP (RFC 793) and MPTCP connection (RFC 6824) state machines "
+        "are shipped as data in repro/analyze/specs/.  Every state-enum "
+        "assignment is extracted with its guard-resolved predecessor set "
+        "and diffed against the table: spec-forbidden transitions, "
+        "required-but-unimplemented transitions, unreachable states, "
+        "UNRESOLVED assignments, and writes from outside the owning layer "
+        "are all findings."
+    )
+    needs_project = True
+
+    def __init__(self, spec_dir=None):
+        from repro.analyze import statemachine
+
+        self.specs = statemachine.load_specs(spec_dir)
+
+    def check(self, ctx: FileContext, project) -> Iterator[Finding]:
+        from repro.analyze import statemachine
+
+        yield from statemachine.check_file(self, ctx, project)
+
+
+# ---------------------------------------------------------------------------
+# WVR01 — stale waivers (evaluated by the engine after the other rules)
+# ---------------------------------------------------------------------------
+class Wvr01StaleWaiver(Rule):
+    code = "WVR01"
+    title = "every waiver must still suppress at least one finding"
+    rationale = (
+        "An 'ok(RULE)'/'file-ok(RULE)' comment that no longer matches any "
+        "finding is dead weight: the code it excused has moved or been "
+        "fixed, and the stale waiver would silently excuse the *next* "
+        "violation on that line.  Only waivers for rules active in the "
+        "current run are judged, so partial --rule runs never cry stale."
+    )
+    # Reachability rules (DET03/MUT01) need the whole project to taint
+    # anything, so staleness is only meaningful on a full scan: the
+    # engine skips this pass under --changed-only.
+    full_scan_only = True
+
+    def check(self, ctx: FileContext, project) -> Iterator[Finding]:
+        return iter(())  # the engine's post-pass does the work
+
+    def post_check(
+        self, ctx: FileContext, findings: list, active_codes: set
+    ) -> Iterator[Finding]:
+        used_line: set[tuple[int, str]] = set()
+        used_file: set[str] = set()
+        for f in findings:
+            if f.waived:
+                if f.rule in ctx.line_waivers.get(f.line, set()):
+                    used_line.add((f.line, f.rule))
+                if f.rule in ctx.file_waivers:
+                    used_file.add(f.rule)
+        for line in sorted(ctx.line_waivers):
+            for rule_code in sorted(ctx.line_waivers[line]):
+                if rule_code not in active_codes or rule_code == self.code:
+                    continue
+                if (line, rule_code) not in used_line:
+                    yield Finding(
+                        path=ctx.display,
+                        line=line,
+                        col=0,
+                        rule=self.code,
+                        message=(
+                            f"stale waiver: ok({rule_code}) on this line "
+                            "suppresses no finding — remove it"
+                        ),
+                    )
+        for rule_code in sorted(ctx.file_waivers):
+            if rule_code not in active_codes or rule_code == self.code:
+                continue
+            if rule_code not in used_file:
+                line = ctx.file_waiver_lines.get(rule_code, 1)
+                yield Finding(
+                    path=ctx.display,
+                    line=line,
+                    col=0,
+                    rule=self.code,
+                    message=(
+                        f"stale waiver: file-ok({rule_code}) suppresses no "
+                        "finding in this file — remove it"
+                    ),
+                )
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 ALL_RULES: tuple[Rule, ...] = (
@@ -614,6 +733,9 @@ ALL_RULES: tuple[Rule, ...] = (
     Seq01RawSeqArithmetic(),
     Exc01SilentExcept(),
     Mut01WorkerModuleState(),
+    Dom01SequenceDomains(),
+    Fsm01StateMachineConformance(),
+    Wvr01StaleWaiver(),
 )
 
 

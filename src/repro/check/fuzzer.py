@@ -379,7 +379,7 @@ def fuzz(
     seeds, out_dir: str = "fuzz-failures", verbose: bool = False
 ) -> list[tuple[int, ScenarioOutcome, str]]:
     """Run one scenario per seed; shrink and emit a repro per failure."""
-    failures = []
+    failures: list = []
     for seed in seeds:
         spec = random_scenario(seed)
         outcome = run_scenario(spec)

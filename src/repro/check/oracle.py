@@ -120,7 +120,7 @@ class _Watch:
         self.tainted = False  # sanctioned payload rewriting observed
         self.peer: Optional["_Watch"] = None
         if self.is_mptcp:
-            self.prev_adv_edge = entity.rcv_adv_edge
+            self.prev_adv_edge = entity.rcv_data_adv_edge
             self.prev_rcv_nxt = entity.rcv_data_nxt
         else:
             self.prev_adv_edge = entity._rcv_adv_edge
@@ -513,10 +513,10 @@ class InvariantOracle:
             )
         watch.prev_rcv_nxt = conn.rcv_data_nxt
         # In fallback mode the data-level window is out of play: bytes
-        # move raw under plain TCP flow control and rcv_adv_edge is
+        # move raw under plain TCP flow control and rcv_data_adv_edge is
         # never advertised again, so its algebra only binds pre-fallback.
         if not conn.fallback:
-            edge = conn.rcv_adv_edge
+            edge = conn.rcv_data_adv_edge
             if edge < watch.prev_adv_edge:
                 self._fail(
                     "mptcp-window-shrunk",

@@ -65,7 +65,7 @@ class ExperimentResult:
         self.rows.append(values)
 
     def series(self, x: str, y: str, **filters) -> list[tuple]:
-        points = []
+        points: list[dict] = []
         for row in self.rows:
             if all(row.get(key) == value for key, value in filters.items()):
                 points.append((row[x], row[y]))
@@ -206,7 +206,7 @@ def run_mptcp_bulk(
     BulkSenderApp(conn, total_bytes=None)  # unbounded
     net.sim.schedule(warmup, meter.start)
 
-    samplers = []
+    samplers: list = []
     if sample_memory:
         net.sim.schedule(
             warmup,
@@ -276,7 +276,7 @@ def run_tcp_bulk(
     BulkSenderApp(sock, total_bytes=None)
     sock.connect(Endpoint("10.99.0.1", 80))
     net.sim.schedule(warmup, meter.start)
-    samplers = []
+    samplers: list = []
     if sample_memory:
         net.sim.schedule(
             warmup,

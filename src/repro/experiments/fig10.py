@@ -62,7 +62,7 @@ def _measure(
     rng = net.rng.fork("syn-gen")
     delays: list[float] = []
     for attempt in range(attempts):
-        options = []
+        options: list = []
         if mptcp:
             options = [MPCapable(sender_key=rng.getrandbits(64))]
         syn = Segment(
@@ -108,7 +108,7 @@ def run_fig10(attempts: int = 2000, seed: int = 10, workers: int | None = None) 
         ],
         workers=workers,
     )
-    pdfs = {}
+    pdfs: dict = {}
     for (label, mptcp, preestablished, key_pool), delays in zip(configurations, outcome.values):
         delays_us = sorted(d * 1e6 for d in delays)
         histogram = Histogram(bin_width=2.0)

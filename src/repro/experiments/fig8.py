@@ -136,7 +136,7 @@ def check_claims(result: ExperimentResult) -> dict[str, bool]:
         ]
         return rows[0]["utilization_pct"] if rows else 0.0
 
-    claims = {}
+    claims: dict[str, bool] = {}
     for n in {row["subflows"] for row in result.rows}:
         claims[f"shortcuts_beat_regular_{n}sf"] = util(n, "allshortcuts") < util(n, "regular")
         claims[f"tree_beats_regular_{n}sf"] = util(n, "tree") <= util(n, "regular")

@@ -67,7 +67,9 @@ def pseudo_header_sum(dsn: int, subflow_seq: int, length: int) -> int:
     """
     dsn &= 0xFFFFFFFF
     ssn = subflow_seq & 0xFFFFFFFF
-    total = (dsn >> 16) + (dsn & 0xFFFF) + (ssn >> 16) + (ssn & 0xFFFF) + (length & 0xFFFF)
+    # The checksum folds both sequence spaces into 16-bit words; this
+    # is bit-pattern hashing, not sequence arithmetic.
+    total = (dsn >> 16) + (dsn & 0xFFFF) + (ssn >> 16) + (ssn & 0xFFFF) + (length & 0xFFFF)  # analyze: ok(DOM01)
     while total >> 16:
         total = (total & 0xFFFF) + (total >> 16)
     return total

@@ -39,6 +39,7 @@ from repro.mptcp.ooo import OOOQueue, make_ooo_queue
 from repro.mptcp.options import DSS, AddAddr, FastClose, MPTCPOption, RemoveAddr
 from repro.mptcp.checksum import dss_checksum
 from repro.mptcp.scheduler import Scheduler
+from repro.mptcp.state import MPTCPConnState
 from repro.mptcp.subflow import RxMapping, Subflow
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -163,13 +164,13 @@ class MPTCPConnection:
         self.ooo_index: OOOQueue = make_ooo_queue(self.config.ooo_algorithm)
         self._rx_ready = bytearray()
         self._rx_eof = False
-        self.rcv_adv_edge = 0
+        self.rcv_data_adv_edge = 0
         self.peer_data_fin: Optional[int] = None
 
         # --- state ---------------------------------------------------------
-        self.established = False
-        self.closed = False
-        self.fallback = False
+        # One enum, one writer file: the FSM01 conformance pass extracts
+        # every assignment and diffs it against the RFC 6824 spec table.
+        self.conn_state = MPTCPConnState.M_INIT
         self.fallback_reason: Optional[str] = None
         self._fallback_tx_base: Optional[int] = None
         self._mp_fail_pending = False
@@ -212,6 +213,21 @@ class MPTCPConnection:
         self.on_close: Optional[Callable[["MPTCPConnection"], None]] = None
         self.on_error: Optional[Callable[["MPTCPConnection", str], None]] = None
         self.on_writable: Optional[Callable[["MPTCPConnection"], None]] = None
+
+    # ------------------------------------------------------------------
+    # Derived state flags (read-only: conn_state is the source of truth)
+    # ------------------------------------------------------------------
+    @property
+    def established(self) -> bool:
+        return self.conn_state.is_established
+
+    @property
+    def fallback(self) -> bool:
+        return self.conn_state.is_fallback
+
+    @property
+    def closed(self) -> bool:
+        return self.conn_state.is_closed
 
     # ==================================================================
     # Opening
@@ -291,7 +307,12 @@ class MPTCPConnection:
             # still handshaking: close it immediately.
             self.sim.call_soon(subflow.close)
         if not self.established:
-            self.established = True
+            if self.conn_state is MPTCPConnState.M_FALLBACK_INIT:
+                # The handshake already dropped to TCP: the subflow comes
+                # up carrying the plain byte stream.
+                self.conn_state = MPTCPConnState.M_FALLBACK
+            else:
+                self.conn_state = MPTCPConnState.M_ESTABLISHED
             if self.config.autotune:
                 self._autotune_timer.restart(0.1)
             if self.role == "server":
@@ -690,8 +711,8 @@ class MPTCPConnection:
         used = self.rx_memory_bytes()
         window = max(0, self.rcv_buf_limit - used)
         edge = self.rcv_data_nxt + window
-        if edge > self.rcv_adv_edge:
-            self.rcv_adv_edge = edge
+        if edge > self.rcv_data_adv_edge:
+            self.rcv_data_adv_edge = edge
         return window
 
     def dss_data_ack_option(self) -> DSS:
@@ -706,7 +727,7 @@ class MPTCPConnection:
         if offset < self.rcv_data_nxt:
             payload = payload[self.rcv_data_nxt - offset :]
             offset = self.rcv_data_nxt
-        limit = max(self.rcv_adv_edge, self.rcv_data_nxt + 1)
+        limit = max(self.rcv_data_adv_edge, self.rcv_data_nxt + 1)
         if offset > self.rcv_data_nxt:
             # Out of order at the data level: exercise the §4.3 index.
             self.stats.out_of_order_chunks += 1
@@ -758,8 +779,8 @@ class MPTCPConnection:
             return
         mss = self.config.tcp.mss
         window = max(0, self.rcv_buf_limit - self.rx_memory_bytes())
-        previously_open = self.rcv_adv_edge - self.rcv_data_nxt
-        growth = (self.rcv_data_nxt + window) - self.rcv_adv_edge
+        previously_open = self.rcv_data_adv_edge - self.rcv_data_nxt
+        growth = (self.rcv_data_nxt + window) - self.rcv_data_adv_edge
         if growth <= 0:
             return
         if previously_open < 2 * mss or growth >= self.rcv_buf_limit // 2:
@@ -873,9 +894,17 @@ class MPTCPConnection:
     def enter_fallback(self, reason: str) -> None:
         """Drop to regular-TCP behaviour on the (single) subflow (§3.1's
         deployability requirement: *always* complete the transfer)."""
-        if self.fallback:
+        if self.fallback or self.closed:
+            # Fallback is a one-way door, and a torn-down connection has
+            # no stream left to fall back for (a late checksum failure
+            # must not resurrect it as "fallback").
             return
-        self.fallback = True
+        if self.conn_state is MPTCPConnState.M_ESTABLISHED:
+            # Mid-connection drop: checksum failure or MP_FAIL (§3.3.6).
+            self.conn_state = MPTCPConnState.M_FALLBACK
+        else:
+            # Handshake-time drop: options never made it (§3.1).
+            self.conn_state = MPTCPConnState.M_FALLBACK_INIT
         self.fallback_reason = reason
         self.stats.fallbacks += 1
         self._fallback_tx_base = None
@@ -889,7 +918,10 @@ class MPTCPConnection:
         connection now."""
         if self._fallback_tx_base is None:
             # Map subflow sequence units onto data offsets from here on.
-            self._fallback_tx_base = self.data_nxt - (subflow.snd_nxt - 1)
+            # Fallback collapses the two sequence spaces: the subflow
+            # byte stream IS the data stream, so this one anchor
+            # legitimately subtracts SSN from DSN.
+            self._fallback_tx_base = self.data_nxt - (subflow.snd_nxt - 1)  # analyze: ok(DOM01)
         if self.data_nxt >= self.send_stream.tail:
             self._fallback_close_if_drained()
             return None
@@ -940,7 +972,10 @@ class MPTCPConnection:
     def _teardown(self, error: Optional[str] = None) -> None:
         if self.closed:
             return
-        self.closed = True
+        if self.fallback:
+            self.conn_state = MPTCPConnState.M_FALLBACK_CLOSED
+        else:
+            self.conn_state = MPTCPConnState.M_CLOSED
         self._data_rtx_timer.stop()
         self._autotune_timer.stop()
         self.manager.tokens.unregister(self.local_token)

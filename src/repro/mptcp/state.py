@@ -1,0 +1,56 @@
+"""MPTCP connection-level states (RFC 6824 §3, the paper's §3.1 ladder).
+
+RFC 6824 does not draw a single connection state diagram the way
+RFC 793 does, but the MP_CAPABLE/MP_JOIN handshakes and the fallback
+ladder define one implicitly, and the paper's hardest deployment bugs
+(§3.1) are exactly missed transitions in it.  This enum makes that
+machine explicit — one attribute, one writer module — so the FSM01
+conformance pass can extract every transition and diff it against the
+spec table in ``repro/analyze/specs/rfc6824_mptcp.json``.
+
+The three historical booleans (``established``, ``fallback``,
+``closed``) survive as derived read-only properties on
+:class:`~repro.mptcp.connection.MPTCPConnection`; the enum is the only
+source of truth, so the flags can never drift apart.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class MPTCPConnState(enum.Enum):
+    """Cross-product of (established, fallback, closed) that actually
+    occurs; fallback and closure are both one-way doors."""
+
+    M_INIT = "M_INIT"  # first subflow still handshaking
+    M_ESTABLISHED = "M_ESTABLISHED"  # MPTCP confirmed end-to-end
+    M_FALLBACK_INIT = "M_FALLBACK_INIT"  # dropped to TCP during handshake
+    M_FALLBACK = "M_FALLBACK"  # carrying data as plain TCP
+    M_CLOSED = "M_CLOSED"  # fully closed, MPTCP mode
+    M_FALLBACK_CLOSED = "M_FALLBACK_CLOSED"  # fully closed, fallback mode
+
+    @property
+    def is_established(self) -> bool:
+        """The connection completed a handshake and can carry data."""
+        return self in _ESTABLISHED
+
+    @property
+    def is_fallback(self) -> bool:
+        """The fallback door has been passed (it never re-opens)."""
+        return self in _FALLBACK
+
+    @property
+    def is_closed(self) -> bool:
+        return self in _CLOSED
+
+
+_ESTABLISHED = frozenset({MPTCPConnState.M_ESTABLISHED, MPTCPConnState.M_FALLBACK})
+_FALLBACK = frozenset(
+    {
+        MPTCPConnState.M_FALLBACK_INIT,
+        MPTCPConnState.M_FALLBACK,
+        MPTCPConnState.M_FALLBACK_CLOSED,
+    }
+)
+_CLOSED = frozenset({MPTCPConnState.M_CLOSED, MPTCPConnState.M_FALLBACK_CLOSED})

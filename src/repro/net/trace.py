@@ -125,7 +125,7 @@ class PacketTrace:
         direction: Optional[int] = None,
     ) -> list[TraceRecord]:
         """Records matching every given criterion."""
-        out = []
+        out: list[str] = []
         for record in self.records:
             seg = record.segment
             if syn is not None and seg.syn != syn:

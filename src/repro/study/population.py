@@ -46,7 +46,7 @@ class PathProfile:
     has_nat: bool = False
 
     def behaviours(self) -> list[str]:
-        found = []
+        found: list = []
         if self.strips_all_options:
             found.append("strip-all-options")
         elif self.strips_syn_options:

@@ -90,7 +90,7 @@ def _transfer_tcp(
     net: Network, client, server, timeout: float
 ) -> tuple[bool, Optional[float]]:
     meter = GoodputMeter(net.sim)
-    state = {}
+    state: dict = {}
 
     def on_accept(sock):
         state["rx"] = BulkReceiverApp(sock, meter, expect_bytes=_TRANSFER, verify=True)
@@ -142,7 +142,7 @@ def _run_mptcp_case(profile: PathProfile, seed: int) -> tuple[bool, bool, bool]:
         queue_bytes=_QUEUE,
     )
     meter = GoodputMeter(net.sim)
-    state = {}
+    state: dict = {}
     config = MPTCPConfig()
 
     def on_accept(conn):

@@ -90,7 +90,7 @@ class ByteStream:
             if type(chunk) is PayloadView:
                 return PayloadView(chunk._data, chunk._offset + start, length)
             return PayloadView(chunk, start, length)
-        pieces = []
+        pieces: list[bytes] = []
         remaining = length
         while True:
             take = min(remaining, len(chunk) - start)

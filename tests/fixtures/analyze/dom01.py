@@ -1,0 +1,34 @@
+"""DOM01 fixture: SSN/DSN mixing, ``# domain:`` grammar, blessed casts."""
+
+
+def mix_arith(ssn, dsn):
+    bad = ssn + dsn  # line 5: DOM01 (cross-domain arithmetic)
+    return bad
+
+
+def mix_compare(ssn, dsn):
+    return ssn < dsn  # line 10: DOM01 (cross-domain comparison)
+
+
+def legal_offset(dsn, ssn_end, ssn_start):
+    # DSN + (SSN - SSN) = DSN + LENGTH: the canonical mapping idiom.
+    return dsn + (ssn_end - ssn_start)
+
+
+def annotated(a, b):  # domain: a=ssn, b=dsn
+    return a - b  # line 19: DOM01 (domains came from the def annotation)
+
+
+def blessed(conn, ssn):
+    dsn = conn.tx_wire_dsn(ssn)  # blessed cast: SSN enters, DSN leaves
+    return dsn + 1
+
+
+def assigned_override(raw):
+    seq = raw  # domain: ssn
+    dsn = seq  # line 29: DOM01 (SSN assigned to a DSN-named target)
+    return dsn
+
+
+def waived(ssn, dsn):
+    return ssn - dsn  # analyze: ok(DOM01): fixture demonstrates a waiver

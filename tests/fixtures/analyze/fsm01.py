@@ -1,0 +1,42 @@
+"""FSM01 fixture: a door machine with a spec-forbidden transition."""
+
+import enum
+
+
+class DoorState(enum.Enum):
+    CLOSED = enum.auto()
+    OPEN = enum.auto()
+    LOCKED = enum.auto()
+    BROKEN = enum.auto()
+
+
+class Door:
+    def __init__(self):
+        self.state = DoorState.CLOSED
+
+    def open(self):
+        if self.state is DoorState.CLOSED:
+            self.state = DoorState.OPEN
+
+    def shut(self):
+        if self.state is DoorState.OPEN:
+            self.state = DoorState.CLOSED
+
+    def lock(self):
+        if self.state is DoorState.CLOSED:
+            self.state = DoorState.LOCKED
+
+    def unlock(self):
+        if self.state is DoorState.LOCKED:
+            self.state = DoorState.CLOSED
+
+    def bad_lock(self):
+        if self.state is DoorState.OPEN:
+            self.state = DoorState.LOCKED  # line 35: FSM01 (spec forbids OPEN -> LOCKED)
+
+    def smash(self, outcome):
+        self.state = outcome  # line 38: FSM01 (UNRESOLVED)
+
+    def pried_open(self):
+        if self.state is DoorState.BROKEN:
+            self.state = DoorState.OPEN  # analyze: ok(FSM01): fixture waiver demo

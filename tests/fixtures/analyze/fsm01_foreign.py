@@ -1,0 +1,7 @@
+"""FSM01 fixture: a non-owner layer poking the door state directly."""
+
+from tests.fixtures.analyze.fsm01 import DoorState
+
+
+def vandalise(door):
+    door.state = DoorState.BROKEN  # line 7: FSM01 (foreign-layer write)
