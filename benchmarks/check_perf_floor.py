@@ -1,0 +1,75 @@
+"""CI perf-regression guard: assert the latest benchmark records clear
+their ratcheted floors.
+
+Reads the *last* record of ``BENCH_engine.json`` and
+``BENCH_datapath.json`` (the run the CI job just appended) and fails if
+either metric dropped below its floor.  The floors are a ratchet: they
+start at the measured pre-flyweight baseline, far below what the
+current hot path delivers even on a loaded runner, and are raised as
+the engine gets faster so a regression that gives back the win cannot
+land silently.  Override per-run with the environment variables below
+(e.g. for a deliberately slow debug build).
+
+Usage: python benchmarks/check_perf_floor.py [repo_root]
+"""
+
+import json
+import os
+import sys
+from pathlib import Path
+
+# (file, metric, floor, env override).  Floors are the pre-flyweight
+# baseline measured on the reference box: 21 k events/s on the canonical
+# 2-subflow transfer and 5 MB/s of simulated payload.  Post-flyweight
+# code clears both by ~2x on the same box.
+FLOORS = [
+    ("BENCH_engine.json", "events_per_sec", 21_000.0, "REPRO_PERF_FLOOR_ENGINE"),
+    (
+        "BENCH_datapath.json",
+        "payload_bytes_per_sec",
+        5_000_000.0,
+        "REPRO_PERF_FLOOR_DATAPATH",
+    ),
+]
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parent.parent
+    failures = []
+    for filename, metric, floor, env_var in FLOORS:
+        override = os.environ.get(env_var)
+        if override:
+            floor = float(override)
+        path = root / filename
+        try:
+            records = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            failures.append(f"{filename}: unreadable ({exc})")
+            continue
+        if not records:
+            failures.append(f"{filename}: no benchmark records")
+            continue
+        record = records[-1]
+        value = record.get(metric)
+        if value is None:
+            failures.append(f"{filename}: last record lacks {metric!r}")
+            continue
+        verdict = "ok" if value >= floor else "BELOW FLOOR"
+        print(
+            f"{filename}: {metric} = {value:,.0f} "
+            f"(floor {floor:,.0f}, label {record.get('label', '?')}) {verdict}"
+        )
+        if value < floor:
+            failures.append(
+                f"{filename}: {metric} {value:,.0f} < floor {floor:,.0f}"
+            )
+    if failures:
+        print()
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

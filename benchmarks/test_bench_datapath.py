@@ -23,7 +23,7 @@ from pathlib import Path
 
 from repro.experiments.common import THREEG, WIFI, mptcp_variant_config, run_mptcp_bulk
 
-from conftest import run_once
+from conftest import run_median_of_3
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_datapath.json"
 
@@ -60,7 +60,9 @@ def _datapath() -> dict:
 
 
 def test_datapath_payload_bytes_per_sec(benchmark):
-    record = run_once(benchmark, _datapath)
+    # Median of three runs — see test_bench_engine.py; the CI ratchet
+    # must not be failable by one noisy run.
+    record = run_median_of_3(benchmark, _datapath, "payload_bytes_per_sec")
     record["label"] = os.environ.get("REPRO_BENCH_LABEL", "current")
     record["python"] = platform.python_version()
     record["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
@@ -76,6 +78,10 @@ def test_datapath_payload_bytes_per_sec(benchmark):
             f"goodput {run['goodput_mbps']:.2f} Mb/s"
         )
 
+    print(
+        f"  (median of {record['runs_measured']}: "
+        f"{[round(v / 1e6, 2) for v in record['payload_bytes_per_sec_spread']]} MB/s)"
+    )
     history = []
     if BENCH_JSON.exists():
         try:

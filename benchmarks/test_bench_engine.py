@@ -11,6 +11,7 @@ compared (the CI smoke job reads it back as a sanity check).
 """
 
 import json
+import os
 import platform
 import time
 from pathlib import Path
@@ -18,7 +19,7 @@ from pathlib import Path
 from repro.experiments.common import THREEG, WIFI, mptcp_variant_config, run_mptcp_bulk
 from repro.sim.engine import events_run_total
 
-from conftest import run_once
+from conftest import run_median_of_3
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
@@ -44,7 +45,10 @@ def _canonical_transfer():
 
 
 def test_engine_events_per_sec(benchmark):
-    record = run_once(benchmark, _canonical_transfer)
+    # Median of three runs: the CI perf ratchet reads this record, and a
+    # single scheduling hiccup must not be able to fail the floor.
+    record = run_median_of_3(benchmark, _canonical_transfer, "events_per_sec")
+    record["label"] = os.environ.get("REPRO_BENCH_LABEL", "current")
     record["python"] = platform.python_version()
     record["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
 
@@ -52,6 +56,7 @@ def test_engine_events_per_sec(benchmark):
     print("canonical 2-subflow bulk transfer (WiFi + 3G, m12, 500 KB buffers)")
     print(f"  simulated {record['sim_duration_s']:.0f}s in {record['wall_clock_s']:.2f}s wall")
     print(f"  {record['events']:,} events -> {record['events_per_sec']:,.0f} events/s")
+    print(f"  (median of {record['runs_measured']}: {record['events_per_sec_spread']})")
     print(f"  goodput {record['goodput_mbps']:.2f} Mb/s")
 
     history = []

@@ -27,11 +27,13 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.net.node import Host
 from repro.net.packet import Endpoint
-from repro.net.payload import Buffer, as_memoryview
+from repro.net.payload import Buffer, PayloadView, as_memoryview
 from repro.sim import Timer
 from repro.tcp.autotune import BufferAutotuner, ThroughputMeter
 from repro.tcp.buffer import ByteStream, ReassemblyQueue
-from repro.tcp.seq import seq_add, seq_diff
+from repro.tcp.seq import SEQ_MOD, seq_add
+
+_SEQ_HALF = 1 << 31
 from repro.tcp.socket import TCPConfig
 from repro.mptcp.coupled import CoupledGroup, LIAController
 from repro.mptcp.keys import idsn_from_key, token_from_key
@@ -171,6 +173,7 @@ class MPTCPConnection:
         # One enum, one writer file: the FSM01 conformance pass extracts
         # every assignment and diffs it against the RFC 6824 spec table.
         self.conn_state = MPTCPConnState.M_INIT
+        self._dack_option_cache: Optional[DSS] = None
         self.fallback_reason: Optional[str] = None
         self._fallback_tx_base: Optional[int] = None
         self._mp_fail_pending = False
@@ -429,6 +432,8 @@ class MPTCPConnection:
     def take_announcements(self, subflow: Subflow) -> list[MPTCPOption]:
         """Pending ADD_ADDR/REMOVE_ADDR options not yet sent on this
         subflow (each rides one ACK per subflow)."""
+        if not self._announcements:
+            return []
         taken: list[MPTCPOption] = []
         for option, sent_on in self._announcements:
             if subflow.subflow_id not in sent_on:
@@ -462,15 +467,23 @@ class MPTCPConnection:
         return seq_add(self.local_idsn, 1 + offset)
 
     def tx_abs_offset(self, data_ack32: int) -> int:
-        expected = seq_add(self.local_idsn, 1 + self.data_una)
-        return self.data_una + seq_diff(data_ack32, expected)
+        # seq_diff(), inlined: once per DATA_ACK-bearing segment
+        data_una = self.data_una
+        diff = (data_ack32 - self.local_idsn - 1 - data_una) % SEQ_MOD
+        if diff >= _SEQ_HALF:
+            diff -= SEQ_MOD
+        return data_una + diff
 
     def rx_wire_dsn(self, offset: int) -> int:
         return seq_add(self.remote_idsn, 1 + offset)
 
     def rx_abs_offset(self, dsn32: int) -> int:
-        expected = seq_add(self.remote_idsn, 1 + self.rcv_data_nxt)
-        return self.rcv_data_nxt + seq_diff(dsn32, expected)
+        # seq_diff(), inlined: once per mapping-bearing segment
+        rcv_data_nxt = self.rcv_data_nxt
+        diff = (dsn32 - self.remote_idsn - 1 - rcv_data_nxt) % SEQ_MOD
+        if diff >= _SEQ_HALF:
+            diff -= SEQ_MOD
+        return rcv_data_nxt + diff
 
     # ==================================================================
     # Application API
@@ -555,6 +568,7 @@ class MPTCPConnection:
         start: Optional[int],
         payload: Buffer,
         data_fin: bool = False,
+        length: Optional[int] = None,
     ) -> DSS:
         """The DSS option for a mapping starting at data offset ``start``.
 
@@ -568,16 +582,20 @@ class MPTCPConnection:
         dsn = None
         ssn_rel = None
         checksum = None
-        length = 0
         if start is not None:
             dsn = self.tx_wire_dsn(start)
             ssn_rel = subflow.snd_nxt if subflow is not None else 0
-            length = len(payload)
+            if length is None:
+                # Only cold callers omit it: the scheduler passes the
+                # allocation length to spare a len() of a PayloadView.
+                length = len(payload)
             if self.checksum_enabled:
                 checksum = dss_checksum(dsn, ssn_rel, length, payload)
                 self.stats.checksum_bytes_tx += length
-        elif data_fin:
-            dsn = self.tx_wire_dsn(self.data_fin_offset or self.send_stream.tail)
+        else:
+            length = 0
+            if data_fin:
+                dsn = self.tx_wire_dsn(self.data_fin_offset or self.send_stream.tail)
         return DSS(
             data_ack=self.rx_wire_dsn(self.rcv_data_nxt),
             dsn=dsn,
@@ -601,7 +619,15 @@ class MPTCPConnection:
     def kick(self) -> None:
         """Give every subflow (lowest smoothed RTT first) a chance to
         send — the scheduler's "least congested path" preference."""
-        for subflow in sorted(self.alive_subflows(), key=lambda s: s.srtt):
+        subs = [s for s in self.subflows if not s.failed and s.state.may_send_data]
+        if len(subs) == 2:
+            # The common two-path case: a stable sort of two elements is
+            # a single compare-and-swap, no key lambda needed.
+            if subs[0].rtt.smoothed > subs[1].rtt.smoothed:
+                subs.reverse()
+        elif len(subs) > 2:
+            subs.sort(key=lambda s: s.rtt.smoothed)
+        for subflow in subs:
             subflow._try_send()
         if not self.fallback and self.data_fin_due():
             # Nothing carried the DATA_FIN: send it on a pure ACK.
@@ -634,7 +660,8 @@ class MPTCPConnection:
                 fin_ack_limit is None or ack_offset > fin_ack_limit
             ):
                 return  # acks data never sent: middlebox "corrected" it
-            release_to = min(ack_offset, self.send_stream.tail)
+            tail = self.send_stream.tail
+            release_to = ack_offset if ack_offset < tail else tail
             if release_to > self.send_stream.head:
                 self.send_stream.release_to(release_to)
             self.data_una = ack_offset
@@ -655,7 +682,10 @@ class MPTCPConnection:
                 self._data_fin_acked = True
                 self._close_subflows_after_fin()
             self._ensure_data_rtx_timer()
-            if self.on_writable is not None and self.send_buffer_room() > 0:
+            if (
+                self.on_writable is not None
+                and self.snd_buf_limit > self.send_stream.tail - self.send_stream.head
+            ):
                 self.on_writable(self)
         edge = ack_offset + window_bytes
         if edge > self.peer_rwnd_edge:
@@ -673,10 +703,15 @@ class MPTCPConnection:
             # subflow's own retransmission machinery, so its horizon
             # follows the slowest subflow.  Fast cross-subflow rescue is
             # mechanism M1's job, not this timer's.
-            rto = max(
-                self.config.data_rto_min,
-                2 * max((s.rtt.rto for s in self.alive_subflows()), default=1.0),
-            )
+            slowest = None
+            for s in self.subflows:
+                if not s.failed and s.state.may_send_data:
+                    r = s.rtt.rto
+                    if slowest is None or r > slowest:
+                        slowest = r
+            rto = 2 * (slowest if slowest is not None else 1.0)
+            if rto < self.config.data_rto_min:
+                rto = self.config.data_rto_min
             self._data_rtx_timer.restart(rto)
         else:
             self._data_rtx_timer.stop()
@@ -716,31 +751,68 @@ class MPTCPConnection:
         return window
 
     def dss_data_ack_option(self) -> DSS:
-        return DSS(data_ack=self.rx_wire_dsn(self.rcv_data_nxt))
+        # DSS instances are frozen, so the pure-DATA_ACK option for an
+        # unchanged rcv_data_nxt can be shared across ACKs (dupacks and
+        # multi-subflow acking re-ack the same level constantly).
+        wire = self.rx_wire_dsn(self.rcv_data_nxt)
+        cached = self._dack_option_cache
+        if cached is not None and cached.data_ack == wire:
+            return cached
+        option = DSS(data_ack=wire)
+        self._dack_option_cache = option
+        return option
 
     def deliver_chunk(self, subflow: Subflow, offset: int, payload: Buffer) -> None:
         """In-order subflow bytes with a verified mapping land here."""
-        end = offset + len(payload)
-        if end <= self.rcv_data_nxt:
-            self.stats.duplicate_bytes += len(payload)
+        # len() of a PayloadView is a Python-level call; read the length
+        # slot directly — this method runs once per data segment.
+        plen = payload._length if type(payload) is PayloadView else len(payload)
+        end = offset + plen
+        data_nxt = self.rcv_data_nxt
+        if end <= data_nxt:
+            self.stats.duplicate_bytes += plen
             return
-        if offset < self.rcv_data_nxt:
-            payload = payload[self.rcv_data_nxt - offset :]
-            offset = self.rcv_data_nxt
-        limit = max(self.rcv_data_adv_edge, self.rcv_data_nxt + 1)
+        if offset < data_nxt:
+            payload = payload[data_nxt - offset :]
+            offset = data_nxt
+        limit = self.rcv_data_adv_edge
+        if limit <= data_nxt:
+            limit = data_nxt + 1
+        if (
+            offset == data_nxt
+            and end <= limit
+            and not self.reassembly.block_count
+        ):
+            # Fast path: exactly the next data bytes with nothing
+            # buffered — storing into the reassembly queue would be
+            # popped straight back out, so deliver directly (same bytes,
+            # same stats, same callbacks as the general path below).
+            self.stats.in_order_chunks += 1
+            self.rcv_data_nxt = end
+            self.ooo_index.advance(end)
+            self._rx_ready += as_memoryview(payload)
+            self.stats.bytes_delivered += end - offset
+            if self.on_data is not None:
+                self.on_data(self)
+            self._check_data_fin_consumable()
+            return
         if offset > self.rcv_data_nxt:
             # Out of order at the data level: exercise the §4.3 index.
             self.stats.out_of_order_chunks += 1
-            self.ooo_index.insert(offset, min(end, limit), subflow.subflow_id)
+            self.ooo_index.insert(
+                offset, end if end < limit else limit, subflow.subflow_id
+            )
         else:
             self.stats.in_order_chunks += 1
         self.reassembly.insert(offset, payload, limit=limit)
-        data = self.reassembly.extract_in_order(self.rcv_data_nxt)
-        if data:
-            self.rcv_data_nxt += len(data)
-            self.ooo_index.advance(self.rcv_data_nxt)
+        data = self.reassembly.extract_in_order(data_nxt)
+        dlen = data._length if type(data) is PayloadView else len(data)
+        if dlen:
+            data_nxt += dlen
+            self.rcv_data_nxt = data_nxt
+            self.ooo_index.advance(data_nxt)
             self._rx_ready += as_memoryview(data)
-            self.stats.bytes_delivered += len(data)
+            self.stats.bytes_delivered += dlen
             if self.on_data is not None:
                 self.on_data(self)
             self._check_data_fin_consumable()
@@ -1003,8 +1075,12 @@ class MPTCPConnection:
         return len(self.send_stream)
 
     def rx_memory_bytes(self) -> int:
-        pending = sum(s.rx_pending_bytes() for s in self.subflows if not s.failed)
-        return len(self._rx_ready) + len(self.reassembly) + pending
+        used = len(self._rx_ready) + self.reassembly.buffered_bytes
+        for s in self.subflows:
+            if not s.failed:
+                pending = s._rx_pending
+                used += pending.tail - pending.head
+        return used
 
     def _measure_rx(self) -> Optional[tuple[float, float]]:
         rate = self._rx_meter.update(self.sim.now, self.stats.bytes_delivered)

@@ -47,7 +47,13 @@ class CoupledGroup:
         self._alpha_cache = None
 
     def total_cwnd(self) -> int:
-        return sum(c.cwnd for c in self.controllers if c.active)
+        # Explicit loop: this runs per congestion-avoidance ACK, and a
+        # genexpr would resume a generator frame per controller.
+        total = 0
+        for c in self.controllers:
+            if c.active:
+                total += c.cwnd
+        return total
 
     def alpha(self, now: float) -> float:
         """LIA's aggressiveness factor, recomputed at most every
@@ -102,9 +108,11 @@ class LIAController(NewReno):
             super()._congestion_avoidance(acked_bytes)
             return
         alpha = self.group.alpha(self.now())
-        linked = alpha * acked_bytes * self.mss / total
-        capped = acked_bytes * self.mss / self.cwnd
-        self.cwnd += max(1, int(min(linked, capped)))
+        increase = acked_bytes * self.mss
+        linked = alpha * increase / total
+        capped = increase / self.cwnd
+        step = int(linked if linked < capped else capped)
+        self.cwnd += step if step > 1 else 1
 
     def on_loss_event(self, flight_bytes: int) -> None:
         super().on_loss_event(flight_bytes)

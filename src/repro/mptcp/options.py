@@ -41,6 +41,13 @@ class MPTCPOption(TCPOption):
         """kind, length, subtype|flags-nibble, then the body."""
         return bytes([KIND_MPTCP, 3 + len(body), (self.subtype << 4) | (flags & 0x0F)]) + body
 
+    def _body_len(self) -> int:
+        raise NotImplementedError
+
+    def encoded_len(self) -> int:
+        # kind + length + subtype/flags byte, then the subtype body.
+        return 3 + self._body_len()
+
 
 @dataclass(frozen=True)
 class MPCapable(MPTCPOption):
@@ -66,6 +73,9 @@ class MPCapable(MPTCPOption):
         if self.receiver_key is not None:
             body += self.receiver_key.to_bytes(8, "big")
         return self._frame(body, flags=self.version)
+
+    def _body_len(self) -> int:
+        return 9 + (8 if self.receiver_key is not None else 0)
 
     @staticmethod
     def decode(body: bytes, flags: int) -> "MPCapable":
@@ -116,6 +126,13 @@ class MPJoin(MPTCPOption):
             body += (self.mac or 0).to_bytes(20, "big")
         return self._frame(body, flags=flags)
 
+    def _body_len(self) -> int:
+        if self.token is not None:
+            return 9
+        if self.nonce is not None:
+            return 13
+        return 21
+
     @staticmethod
     def decode(body: bytes, flags: int) -> "MPJoin":
         backup = bool(flags & 0x1)
@@ -164,6 +181,18 @@ class DSS(MPTCPOption):
     FLAG_MAPPING = 0x2
     FLAG_DATA_FIN = 0x4
 
+    def __post_init__(self) -> None:
+        # Inline of 3 + _body_len(): one DSS is built per data segment
+        # sent, so the generic encoded_len() dispatch pair is skipped.
+        length = 4  # kind + len + subtype/flags byte + DSS flags byte
+        if self.data_ack is not None:
+            length += 4
+        if self.dsn is not None:
+            length += 10 + (2 if self.checksum is not None else 0)
+        elif self.data_fin:
+            length += 4  # placeholder dsn of a fin-only DSS
+        object.__setattr__(self, "wire_len", length)
+
     @property
     def subtype(self) -> int:
         return SUBTYPE_DSS
@@ -186,6 +215,16 @@ class DSS(MPTCPOption):
             if self.dsn is None:
                 body += (0).to_bytes(4, "big")  # placeholder, fin-only DSS
         return self._frame(bytes([flags]) + body)
+
+    def _body_len(self) -> int:
+        length = 1
+        if self.data_ack is not None:
+            length += 4
+        if self.dsn is not None:
+            length += 10 + (2 if self.checksum is not None else 0)
+        elif self.data_fin:
+            length += 4  # placeholder dsn of a fin-only DSS
+        return length
 
     @staticmethod
     def decode(body: bytes, flags_nibble: int) -> "DSS":
@@ -245,6 +284,9 @@ class AddAddr(MPTCPOption):
             body += self.port.to_bytes(2, "big")
         return self._frame(body)
 
+    def _body_len(self) -> int:
+        return 5 + (2 if self.port is not None else 0)
+
     @staticmethod
     def decode(body: bytes, flags: int) -> "AddAddr":
         address_id = body[0]
@@ -268,6 +310,9 @@ class RemoveAddr(MPTCPOption):
     def encode(self) -> bytes:
         return self._frame(bytes([self.address_id]))
 
+    def _body_len(self) -> int:
+        return 1
+
     @staticmethod
     def decode(body: bytes, flags: int) -> "RemoveAddr":
         return RemoveAddr(address_id=body[0])
@@ -288,6 +333,9 @@ class MPPrio(MPTCPOption):
         body = bytes([self.address_id]) if self.address_id is not None else b""
         return self._frame(body, flags=0x1 if self.backup else 0x0)
 
+    def _body_len(self) -> int:
+        return 1 if self.address_id is not None else 0
+
     @staticmethod
     def decode(body: bytes, flags: int) -> "MPPrio":
         return MPPrio(backup=bool(flags & 0x1), address_id=body[0] if body else None)
@@ -307,6 +355,9 @@ class MPFail(MPTCPOption):
     def encode(self) -> bytes:
         return self._frame(self.dsn.to_bytes(8, "big"))
 
+    def _body_len(self) -> int:
+        return 8
+
     @staticmethod
     def decode(body: bytes, flags: int) -> "MPFail":
         return MPFail(dsn=int.from_bytes(body[0:8], "big"))
@@ -325,6 +376,9 @@ class FastClose(MPTCPOption):
 
     def encode(self) -> bytes:
         return self._frame(self.receiver_key.to_bytes(8, "big"))
+
+    def _body_len(self) -> int:
+        return 8
 
     @staticmethod
     def decode(body: bytes, flags: int) -> "FastClose":

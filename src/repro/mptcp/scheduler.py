@@ -38,7 +38,12 @@ congestion-window space").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from operator import attrgetter
 from typing import TYPE_CHECKING, Optional
+
+# C-level key extraction for the inflight prune: min(map(...)) resumes
+# no generator frames, unlike a genexpr.
+_mapping_end = attrgetter("end")
 
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -89,10 +94,17 @@ class Scheduler:
         self.reinject_queue: list[list[int]] = []  # mutable [start, end)
         self.batches: dict[int, Batch] = {}  # subflow_id -> Batch
         self.stats = SchedulerStats()
+        # Smallest mapping end in ``inflight`` (None when empty): lets a
+        # DATA_ACK that completes no mapping skip the prune scan.
+        self._min_inflight_end: Optional[int] = None
 
     # ------------------------------------------------------------------
-    def allocate(self, subflow: "Subflow", max_bytes: int) -> Optional[tuple[bytes, list]]:
-        """Produce (payload, sticky_options) for one segment, or None."""
+    def allocate(
+        self, subflow: "Subflow", max_bytes: int
+    ) -> Optional[tuple[bytes, int, list]]:
+        """Produce (payload, length, sticky_options) for one segment, or
+        None.  The length rides along so downstream consumers never
+        len() the (PayloadView) payload again."""
         conn = self.connection
 
         if subflow.backup and any(
@@ -100,9 +112,28 @@ class Scheduler:
         ):
             return None  # backups carry data only when nothing else can
 
-        chunk = self._allocate_reinjection(subflow, max_bytes)
+        chunk = (
+            self._allocate_reinjection(subflow, max_bytes)
+            if self.reinject_queue
+            else None
+        )
         if chunk is None:
-            chunk = self._allocate_batch(subflow, max_bytes)
+            # _allocate_batch(), inlined: this is the once-per-new-data-
+            # segment allocation path.
+            batch = self.batches.get(subflow.subflow_id)
+            if batch is not None and batch.cursor < conn.data_una:
+                # Data-level recovery may have reinjected (and the
+                # receiver acked) parts of a reserved-but-unsent batch:
+                # skip them.
+                batch.cursor = conn.data_una
+            if batch is None or batch.end <= batch.cursor:
+                batch = self._reserve_batch(subflow, max_bytes)
+            if batch is not None:
+                start = batch.cursor
+                remaining = batch.end - start
+                take = max_bytes if max_bytes < remaining else remaining
+                batch.cursor = start + take
+                chunk = (start, conn.send_stream.peek(start, take), take, False)
         if chunk is None and (conn.config.enable_m1 or conn.config.enable_m2):
             if self._rwnd_blocked():
                 self.stats.rwnd_blocked_events += 1
@@ -113,13 +144,15 @@ class Scheduler:
         if chunk is None:
             return None
 
-        start, payload, reinjection = chunk
+        start, payload, length, reinjection = chunk
         self.stats.allocations += 1
-        self.stats.bytes_allocated += len(payload)
+        self.stats.bytes_allocated += length
         mapping = TxMapping(
-            start, start + len(payload), subflow, conn.sim.now, reinjection=reinjection
+            start, start + length, subflow, conn.sim.now, reinjection=reinjection
         )
         self.inflight.append(mapping)
+        if self._min_inflight_end is None or mapping.end < self._min_inflight_end:
+            self._min_inflight_end = mapping.end
         data_fin = False
         if (
             conn.data_fin_offset is not None
@@ -128,15 +161,15 @@ class Scheduler:
             # Ride the DATA_FIN on the final mapping (§3.4).
             data_fin = True
             conn.note_data_fin_sent()
-        option = conn.build_dss(subflow, start, payload, data_fin=data_fin)
-        return payload, [option]
+        option = conn.build_dss(subflow, start, payload, data_fin=data_fin, length=length)
+        return payload, length, [option]
 
     # ------------------------------------------------------------------
     # Allocation sources
     # ------------------------------------------------------------------
     def _allocate_reinjection(
         self, subflow: "Subflow", max_bytes: int
-    ) -> Optional[tuple[int, bytes, bool]]:
+    ) -> Optional[tuple[int, bytes, int, bool]]:
         conn = self.connection
         while self.reinject_queue:
             entry = self.reinject_queue[0]
@@ -152,43 +185,31 @@ class Scheduler:
                 self.reinject_queue.pop(0)
             self.stats.reinjections += 1
             self.stats.reinjected_bytes += take
-            return (start, payload, True)
+            return (start, payload, take, True)
         return None
-
-    def _allocate_batch(
-        self, subflow: "Subflow", max_bytes: int
-    ) -> Optional[tuple[int, bytes, bool]]:
-        conn = self.connection
-        batch = self.batches.get(subflow.subflow_id)
-        if batch is not None:
-            # Data-level recovery may have reinjected (and the receiver
-            # acked) parts of a reserved-but-unsent batch: skip them.
-            batch.cursor = max(batch.cursor, conn.data_una)
-        if batch is None or batch.remaining <= 0:
-            batch = self._reserve_batch(subflow, max_bytes)
-            if batch is None:
-                return None
-        take = min(max_bytes, batch.remaining)
-        start = batch.cursor
-        payload = conn.send_stream.peek(start, take)
-        batch.cursor += take
-        return (start, payload, False)
 
     def _reserve_batch(self, subflow: "Subflow", max_bytes: int) -> Optional[Batch]:
         """Reserve a contiguous-DSN range sized by the subflow's usable
         congestion window (§4.3's batching)."""
         conn = self.connection
-        limit = min(conn.send_stream.tail, conn.rwnd_limit())
-        if conn.data_nxt >= limit:
+        tail = conn.send_stream.tail
+        edge = conn.peer_rwnd_edge  # rwnd_limit(), inlined
+        limit = tail if tail < edge else edge
+        data_nxt = conn.data_nxt
+        if data_nxt >= limit:
             return None
-        size = max(max_bytes, subflow.usable_cwnd_space())
-        size = min(
-            size,
-            limit - conn.data_nxt,
-            max(1, conn.config.batch_segments) * conn.config.tcp.mss,
-        )
-        batch = Batch(cursor=conn.data_nxt, end=conn.data_nxt + size)
-        conn.data_nxt += size
+        size = subflow.usable_cwnd_space()
+        if size < max_bytes:
+            size = max_bytes
+        room = limit - data_nxt
+        if size > room:
+            size = room
+        segments = conn.config.batch_segments
+        cap = (segments if segments > 1 else 1) * conn.config.tcp.mss
+        if size > cap:
+            size = cap
+        batch = Batch(cursor=data_nxt, end=data_nxt + size)
+        conn.data_nxt = data_nxt + size
         self.batches[subflow.subflow_id] = batch
         return batch
 
@@ -214,7 +235,7 @@ class Scheduler:
 
     def _opportunistic_retransmission(
         self, subflow: "Subflow", max_bytes: int
-    ) -> Optional[tuple[int, bytes, bool]]:
+    ) -> Optional[tuple[int, bytes, int, bool]]:
         """M1: resend un-DATA-ACKed data, originally sent on *another*
         subflow, starting from the trailing edge of the window.
 
@@ -264,7 +285,7 @@ class Scheduler:
         subflow.last_opportunistic_offset = cursor + take
         self.stats.opportunistic_retransmissions += 1
         conn.stats.opportunistic_retransmissions += 1
-        return (cursor, payload, True)
+        return (cursor, payload, take, True)
 
     def _penalize_culprit(self, requester: "Subflow") -> None:
         """M2: halve the cwnd of the subflow holding the trailing edge,
@@ -296,8 +317,12 @@ class Scheduler:
     def on_data_ack(self, data_una: int) -> None:
         """Prune mappings wholly covered by the new cumulative DATA_ACK.
         (The list is not sorted — reinjections interleave — so filter.)"""
-        if any(m.end <= data_una for m in self.inflight):
-            self.inflight = [m for m in self.inflight if m.end > data_una]
+        min_end = self._min_inflight_end
+        if min_end is None or data_una < min_end:
+            return  # nothing completed: O(1)
+        kept = [m for m in self.inflight if m.end > data_una]
+        self.inflight = kept
+        self._min_inflight_end = min(map(_mapping_end, kept), default=None)
 
     def on_subflow_failed(self, subflow: "Subflow") -> None:
         """Queue everything the dead subflow still owed for reinjection."""
@@ -310,6 +335,7 @@ class Scheduler:
         if batch is not None and batch.remaining > 0:
             ranges.append([batch.cursor, batch.end])
         self.inflight = [m for m in self.inflight if m.subflow is not subflow]
+        self._min_inflight_end = min(map(_mapping_end, self.inflight), default=None)
         for entry in sorted(ranges):
             self._queue_reinjection(entry[0], entry[1])
 

@@ -30,19 +30,13 @@ class MPTCPConnState(enum.Enum):
     M_CLOSED = "M_CLOSED"  # fully closed, MPTCP mode
     M_FALLBACK_CLOSED = "M_FALLBACK_CLOSED"  # fully closed, fallback mode
 
-    @property
-    def is_established(self) -> bool:
-        """The connection completed a handshake and can carry data."""
-        return self in _ESTABLISHED
-
-    @property
-    def is_fallback(self) -> bool:
-        """The fallback door has been passed (it never re-opens)."""
-        return self in _FALLBACK
-
-    @property
-    def is_closed(self) -> bool:
-        return self in _CLOSED
+    # Non-member attributes (bare annotations are not enum members):
+    # the derived flags are stamped onto each member once, below, so the
+    # per-segment hot path reads a plain attribute instead of hashing
+    # enum members into a frozenset.
+    is_established: bool  #: completed a handshake and can carry data
+    is_fallback: bool  #: the fallback door has been passed (one-way)
+    is_closed: bool
 
 
 _ESTABLISHED = frozenset({MPTCPConnState.M_ESTABLISHED, MPTCPConnState.M_FALLBACK})
@@ -54,3 +48,9 @@ _FALLBACK = frozenset(
     }
 )
 _CLOSED = frozenset({MPTCPConnState.M_CLOSED, MPTCPConnState.M_FALLBACK_CLOSED})
+
+for _state in MPTCPConnState:
+    _state.is_established = _state in _ESTABLISHED
+    _state.is_fallback = _state in _FALLBACK
+    _state.is_closed = _state in _CLOSED
+del _state

@@ -24,12 +24,12 @@ plain TCP.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
 from repro.net.node import Host
 from repro.net.options import TCPOption
-from repro.net.packet import Segment
+from repro.net.packet import SYN, Segment
 from repro.net.payload import Buffer
 from repro.tcp.buffer import ByteStream
 from repro.tcp.socket import TCPConfig, TCPSocket
@@ -67,10 +67,12 @@ class RxMapping:
     dsn_wire: int  # as carried in the option (for checksum verification)
     ssn_rel_wire: int
     data_fin: bool = False
+    # Computed once: the mapping-match loop reads ssn_end per pending
+    # byte-run, so it is a stored field rather than a property.
+    ssn_end: int = field(init=False, repr=False, compare=False)
 
-    @property
-    def ssn_end(self) -> int:
-        return self.ssn_start + self.length
+    def __post_init__(self) -> None:
+        self.ssn_end = self.ssn_start + self.length
 
 
 class Subflow(TCPSocket):
@@ -278,31 +280,36 @@ class Subflow(TCPSocket):
     # ==================================================================
     # Send path
     # ==================================================================
-    def _pull_new_data(self, max_bytes: int) -> Optional[tuple[bytes, list[TCPOption], bool]]:
+    def _pull_new_data(
+        self, max_bytes: int
+    ) -> Optional[tuple[bytes, int, list[TCPOption], bool]]:
         conn = self.connection
-        if conn.fallback:
+        if conn.conn_state.is_fallback:
             pulled = conn.allocate_fallback(self, max_bytes)
+            if pulled is not None:
+                payload, options = pulled
+                return (payload, len(payload), options, False)
         else:
             if self.kind == self.KIND_JOIN and not (self.join_verified or self.mptcp_confirmed):
                 return None
-            pulled = conn.allocate(self, max_bytes)
-        if pulled is not None:
-            payload, options = pulled
-            # §3.1: the third ACK may be lost, so data packets must keep
-            # carrying an MPTCP option until one is acked.  The DSS
-            # mapping attached to every data segment satisfies this (and
-            # fits the option budget, which repeating MP_CAPABLE's two
-            # keys would not: 12+20+20 > 40 bytes).
-            return (payload, options, False)
+            pulled = conn.scheduler.allocate(self, max_bytes)
+            if pulled is not None:
+                payload, length, options = pulled
+                # §3.1: the third ACK may be lost, so data packets must
+                # keep carrying an MPTCP option until one is acked.  The
+                # DSS mapping attached to every data segment satisfies
+                # this (and fits the option budget, which repeating
+                # MP_CAPABLE's two keys would not: 12+20+20 > 40 bytes).
+                return (payload, length, options, False)
         if self._fin_ready():
-            return (b"", [], True)
+            return (b"", 0, [], True)
         return None
 
     def _release_acked_stream(self, acked_unit: int) -> None:
         """Subflow ACKs do *not* free connection memory — only DATA_ACKs
         do (§3.3.5) — except in fallback mode, where the subflow ACK is
         all there is."""
-        if self.connection.fallback:
+        if self.connection.conn_state.is_fallback:
             self.connection.on_fallback_acked(self, acked_unit)
         # Retransmission-queue entries popped by the caller keep holding
         # payload references until data-acked; that is the paper's
@@ -310,20 +317,34 @@ class Subflow(TCPSocket):
         # accounting charges the connection-level send queue for it.
 
     def _send_window_limit(self) -> int:
-        if self.connection.fallback:
+        if self.connection.conn_state.is_fallback:
             return super()._send_window_limit()
         # Subflow-level flow control does not exist: the window is
         # connection-level and enforced by the scheduler's allocation.
         return self.snd_nxt + (1 << 40)  # analyze: ok(SEQ01): unwrapped internal unit, "infinite" window
 
     def _window_to_advertise(self) -> int:
-        if self.connection.fallback:
+        conn = self.connection
+        if conn.conn_state.is_fallback:
             return super()._window_to_advertise()
-        return self.connection.advertise_window()
+        # advertise_window()/rx_memory_bytes(), inlined: recomputed for
+        # every segment any subflow emits.
+        used = len(conn._rx_ready) + conn.reassembly.buffered_bytes
+        for s in conn.subflows:
+            if not s.failed:
+                pending = s._rx_pending
+                used += pending.tail - pending.head
+        window = conn.rcv_buf_limit - used
+        if window < 0:
+            window = 0
+        edge = conn.rcv_data_nxt + window  # analyze: ok(SEQ01): data-level absolute offset, never wraps
+        if edge > conn.rcv_data_adv_edge:
+            conn.rcv_data_adv_edge = edge
+        return window
 
     def _ack_options(self) -> list[TCPOption]:
         conn = self.connection
-        if conn.fallback or not self.is_mptcp:
+        if conn.conn_state.is_fallback or not self.is_mptcp:
             return []
         options: list[TCPOption] = [conn.dss_data_ack_option()]
         options.extend(conn.take_announcements(self))
@@ -349,25 +370,29 @@ class Subflow(TCPSocket):
                 self.is_mptcp = False
                 conn.enter_fallback("first non-SYN segment from peer without MPTCP option")
                 return
-        if len(segment.payload) > 0:
-            carries_mapping = any(
-                isinstance(option, DSS)
-                and option.dsn is not None
-                and option.length > 0
-                for option in segment.options
-            )
-            if carries_mapping:
-                self._rx_mapless_data_run = 0
+        if segment.payload_len > 0:
+            # Concrete option classes are never subclassed, so exact
+            # type tests replace isinstance chains on this per-segment
+            # path.
+            for option in segment._options:
+                if (
+                    type(option) is DSS
+                    and option.dsn is not None
+                    and option.length > 0
+                ):
+                    self._rx_mapless_data_run = 0
+                    break
             else:
                 self._rx_mapless_data_run += 1
         for option in segment.options:
-            if isinstance(option, DSS):
+            cls = option.__class__
+            if cls is DSS:
                 self._process_dss(option, segment)
-            elif isinstance(option, AddAddr):
+            elif cls is AddAddr:
                 conn.on_add_addr(option)
-            elif isinstance(option, RemoveAddr):
+            elif cls is RemoveAddr:
                 conn.on_remove_addr(option)
-            elif isinstance(option, MPPrio):
+            elif cls is MPPrio:
                 # The peer flips this subflow's priority (or, with an
                 # address id, some other subflow's).
                 if option.address_id is None or option.address_id == self.peer_address_id:
@@ -377,17 +402,18 @@ class Subflow(TCPSocket):
                         if sibling.peer_address_id == option.address_id:
                             sibling.backup = option.backup
                 conn.kick()
-            elif isinstance(option, MPFail):
+            elif cls is MPFail:
                 conn.on_mp_fail(self)
-            elif isinstance(option, FastClose):
+            elif cls is FastClose:
                 conn.on_fastclose(self)
 
     def _process_dss(self, dss: DSS, segment: Segment) -> None:
         conn = self.connection
-        if conn.fallback:
+        if conn.conn_state.is_fallback:
             return
         if dss.data_ack is not None:
-            window = self._scaled_window(segment)
+            # _scaled_window(), inlined: runs once per DATA_ACK-bearing segment
+            window = segment.window << (0 if segment.flags & SYN else self.snd_wscale)
             conn.on_data_ack(conn.tx_abs_offset(dss.data_ack), window, self)
         if dss.dsn is not None and dss.subflow_seq is not None and dss.length > 0:
             ssn_start = dss.subflow_seq - 1  # rel SSN 1 = stream offset 0  # analyze: ok(SEQ01): relative SSN, unwrapped
@@ -404,24 +430,36 @@ class Subflow(TCPSocket):
         elif dss.data_fin:
             # A mapping-less DATA_FIN: dsn field holds the fin position.
             conn.on_data_fin(conn.rx_abs_offset(dss.dsn if dss.dsn is not None else 0))
-        self._match_mappings()
+        # _match_mappings() is a no-op with no pending in-order bytes —
+        # the usual case here, since a data segment's DSS is processed
+        # before its payload reaches _rx_pending (and pure DATA_ACKs
+        # carry no payload at all).  Guard with its loop condition.
+        pending = self._rx_pending
+        if pending.tail > pending.head:
+            self._match_mappings()
 
     def _add_mapping(self, mapping: RxMapping) -> None:
         """Record a mapping, ignoring duplicates (TSO copies the same DSS
         onto every split segment — idempotency is by design, §3.3.4)."""
         if mapping.ssn_end <= self._rx_pending.head:
             return  # entirely consumed already (duplicate)
-        for existing in self._rx_mappings:
+        mappings = self._rx_mappings
+        for existing in mappings:
             if existing.ssn_start == mapping.ssn_start and existing.length == mapping.length:
                 return
-        self._rx_mappings.append(mapping)
-        self._rx_mappings.sort(key=lambda m: m.ssn_start)
+        # Mappings almost always arrive in SSN order: sort only when the
+        # newcomer actually lands out of order.
+        if mappings and mappings[-1].ssn_start > mapping.ssn_start:
+            mappings.append(mapping)
+            mappings.sort(key=lambda m: m.ssn_start)
+        else:
+            mappings.append(mapping)
         self.rx_mappings_received += 1
 
     def _on_in_order_data(self, data: Buffer) -> None:
         conn = self.connection
         self.stats.bytes_delivered += len(data)
-        if conn.fallback:
+        if conn.conn_state.is_fallback:
             conn.on_fallback_data(self, data)
             return
         self._rx_pending.append(data)
@@ -432,7 +470,7 @@ class Subflow(TCPSocket):
         table, verifying checksums and feeding the connection."""
         conn = self.connection
         pending = self._rx_pending
-        while len(pending) > 0:
+        while pending.tail > pending.head:
             head = pending.head
             mapping = self._covering_mapping(head)
             if mapping is None:
@@ -477,7 +515,9 @@ class Subflow(TCPSocket):
                     conn.on_data_fin(mapping.data_start + mapping.length)
             else:
                 # No checksum: deliver incrementally (lower latency).
-                take = min(pending.tail, mapping.ssn_end) - head
+                tail = pending.tail
+                ssn_end = mapping.ssn_end
+                take = (tail if tail < ssn_end else ssn_end) - head
                 if take <= 0:
                     break
                 payload = pending.peek(head, take)

@@ -72,7 +72,10 @@ class Link:
         self.name = name
         self.deliver: Callable[[Segment], None] = lambda seg: None
         self.stats = LinkStats()
-        self._queue: deque[Segment] = deque()
+        # Queue entries carry (segment, size): the wire size is computed
+        # once at enqueue and threaded through transmit/tx-done so the
+        # per-hop hot path never re-derives it from the option list.
+        self._queue: deque[tuple[Segment, int]] = deque()
         self._queued_bytes = 0
         self._busy = False
 
@@ -84,10 +87,15 @@ class Link:
             self.stats.packets_dropped_queue += 1
             return
         if self._busy:
-            self._queue.append(segment)
+            self._queue.append((segment, size))
             self._queued_bytes += size
         else:
-            self._transmit(segment)
+            # Inline of _transmit(): one call per segment offered to an
+            # idle link (the overwhelmingly common case).
+            self._busy = True
+            tx_time = size * 8 / self.rate_bps
+            self.stats.busy_time += tx_time
+            self.sim.post(tx_time, self._tx_done, segment, size)
 
     @property
     def queued_bytes(self) -> int:
@@ -101,24 +109,24 @@ class Link:
         return segment.size_bytes * 8 / self.rate_bps
 
     # ------------------------------------------------------------------
-    def _transmit(self, segment: Segment) -> None:
-        self._busy = True
-        tx_time = self.tx_time(segment)
-        self.stats.busy_time += tx_time
-        self.sim.schedule(tx_time, self._tx_done, segment)
-
-    def _tx_done(self, segment: Segment) -> None:
-        self.stats.packets_sent += 1
-        self.stats.bytes_sent += segment.size_bytes
-        self.stats.payload_bytes_sent += len(segment.payload)
+    def _tx_done(self, segment: Segment, size: int) -> None:
+        stats = self.stats
+        stats.packets_sent += 1
+        stats.bytes_sent += size
+        stats.payload_bytes_sent += segment.payload_len
         if self.loss > 0.0 and self.rng.chance(self.loss):
-            self.stats.packets_dropped_loss += 1
+            stats.packets_dropped_loss += 1
         else:
-            self.sim.schedule(self.delay, self.deliver, segment)
+            self.sim.post(self.delay, self.deliver, segment)
         if self._queue:
-            next_segment = self._queue.popleft()
-            self._queued_bytes -= next_segment.size_bytes
-            self._transmit(next_segment)
+            next_segment, next_size = self._queue.popleft()
+            self._queued_bytes -= next_size
+            tx_time = next_size * 8 / self.rate_bps
+            self.stats.busy_time += tx_time
+            # post(): fire-and-forget fast path — in-flight
+            # serialisation is never cancelled, so no Event object is
+            # needed.  (_busy is already True on this path.)
+            self.sim.post(tx_time, self._tx_done, next_segment, next_size)
         else:
             self._busy = False
 

@@ -27,6 +27,12 @@ class Network:
         self.rng = SeededRNG(seed, "network")
         self.hosts: dict[str, Host] = {}
         self.paths: list[Path] = []
+        # Opt-in flyweight mode: hosts return delivered pure-ACK shells
+        # to the Segment pool (see Host.deliver).  Experiment harnesses
+        # enable it; it stays off by default so tests that attach
+        # on_send/on_receive hooks and retain segment objects are never
+        # surprised by a recycled shell.
+        self.recycle_segments = False
 
     # ------------------------------------------------------------------
     def add_host(self, name: str, *addresses: str) -> Host:

@@ -10,7 +10,8 @@ exact four-tuple first, then listening sockets, then a RST.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Optional, Protocol
+import sys
+from typing import TYPE_CHECKING, Any, Callable, Optional, Protocol
 
 from repro.net.packet import ACK, RST, Endpoint, Segment
 from repro.net.path import FORWARD, Path
@@ -20,6 +21,11 @@ from repro.tcp.seq import seq_add
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.network import Network
+
+# CPython-only; used to prove a delivered pure ACK gained no references
+# while the socket processed it (see Host.deliver).  Absent getrefcount,
+# segments are simply never recycled.
+_getrefcount: Optional[Callable[[Any], int]] = getattr(sys, "getrefcount", None)
 
 
 class SegmentSink(Protocol):
@@ -61,7 +67,15 @@ class Host:
         self.rng = rng or SeededRNG(0, name)
         self.interfaces: list[Interface] = []
         self.network: Optional["Network"] = None
-        self._connections: dict[tuple[Endpoint, Endpoint], SegmentSink] = {}
+        # src ip -> owning interface, filled lazily by send().  Safe to
+        # cache: interfaces are only ever added (duplicates rejected),
+        # never removed or re-addressed.
+        self._iface_cache: dict[str, Interface] = {}
+        # Keyed on primitive (ip, port, ip, port) tuples rather than
+        # Endpoint pairs: tuple-of-str/int hashing stays in C, while a
+        # frozen-dataclass key would run a Python __hash__ per lookup on
+        # the per-segment deliver path.
+        self._connections: dict[tuple[str, int, str, int], SegmentSink] = {}
         self._listeners: dict[int, SegmentSink] = {}
         self._next_port = self.EPHEMERAL_BASE
         self.segments_sent = 0
@@ -105,13 +119,13 @@ class Host:
     # Socket registration / demux
     # ------------------------------------------------------------------
     def register_connection(self, local: Endpoint, remote: Endpoint, sink: SegmentSink) -> None:
-        key = (local, remote)
+        key = (local.ip, local.port, remote.ip, remote.port)
         if key in self._connections:
             raise ValueError(f"connection {local}<->{remote} already bound")
         self._connections[key] = sink
 
     def unregister_connection(self, local: Endpoint, remote: Endpoint) -> None:
-        self._connections.pop((local, remote), None)
+        self._connections.pop((local.ip, local.port, remote.ip, remote.port), None)
 
     def register_listener(self, port: int, sink: SegmentSink) -> None:
         if port in self._listeners:
@@ -122,7 +136,7 @@ class Host:
         self._listeners.pop(port, None)
 
     def connection_sink(self, local: Endpoint, remote: Endpoint) -> Optional[SegmentSink]:
-        return self._connections.get((local, remote))
+        return self._connections.get((local.ip, local.port, remote.ip, remote.port))
 
     # ------------------------------------------------------------------
     # Data path
@@ -130,33 +144,69 @@ class Host:
     def send(self, segment: Segment) -> None:
         """Route a segment out of the interface owning its source address."""
         segment.created_at = self.sim.now
-        for hook in self.on_send:
-            hook(segment)
-        try:
-            interface = self.interface(segment.src.ip)
-        except KeyError:
-            # Source address no longer exists (interface removed by a
-            # mobility event): silently drop, as a kernel would.
-            return
-        route = interface.route_for(segment.dst.ip)
+        if self.on_send:
+            for hook in self.on_send:
+                hook(segment)
+        src_ip = segment.src.ip
+        interface = self._iface_cache.get(src_ip)
+        if interface is None:
+            for iface in self.interfaces:
+                if iface.ip == src_ip:
+                    interface = iface
+                    self._iface_cache[src_ip] = iface
+                    break
+            else:
+                # Source address does not exist (never configured, or a
+                # hypothetical removal): silently drop, as a kernel would.
+                return
+        # route_for(), inlined: per-segment path
+        routes = interface.routes
+        route = routes.get(segment.dst.ip)
         if route is None:
-            return
-        path, direction = route
+            route = routes.get("*")
+            if route is None:
+                return
         self.segments_sent += 1
-        path.send(segment, direction)
+        route[0].send(segment, route[1])
 
     def deliver(self, segment: Segment) -> None:
         """Called by the attached path when a segment arrives."""
         self.segments_received += 1
-        for hook in self.on_receive:
-            hook(segment)
-        sink = self._connections.get((segment.dst, segment.src))
+        hooks = self.on_receive
+        if hooks:
+            for hook in hooks:
+                hook(segment)
+        dst = segment.dst
+        src = segment.src
+        sink = self._connections.get((dst.ip, dst.port, src.ip, src.port))
         if sink is None:
-            sink = self._listeners.get(segment.dst.port)
-        if sink is not None:
-            sink.segment_arrives(segment)
+            sink = self._listeners.get(dst.port)
+        if sink is None:
+            self._reset_unknown(segment)
             return
-        self._reset_unknown(segment)
+        # Segment recycling (opt-in per network): a delivered *pure ACK*
+        # (no payload, no SYN/FIN/RST) is never queued for retransmission
+        # and nothing in the stack stores the object itself, so once the
+        # socket has processed it the shell can return to the pool.  The
+        # refcount equality proves the socket (or anything it called)
+        # kept no new reference; pre-existing referers (traces store
+        # copies, middleboxes only hold payload-bearing segments) are
+        # excluded by the flags/payload test and the opt-in flag.
+        network = self.network
+        if (
+            not hooks
+            and segment.payload_len == 0
+            and segment.flags == ACK
+            and network is not None
+            and network.recycle_segments
+            and _getrefcount is not None
+        ):
+            before = _getrefcount(segment)
+            sink.segment_arrives(segment)
+            if _getrefcount(segment) == before:
+                segment.release()
+            return
+        sink.segment_arrives(segment)
 
     def _reset_unknown(self, segment: Segment) -> None:
         """RFC 793: a segment to a non-existent connection draws a RST."""

@@ -13,8 +13,9 @@ registers its decoder here, keeping this layer protocol-agnostic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Iterable, Optional
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Callable, Iterable
 
 KIND_EOL = 0
 KIND_NOP = 1
@@ -35,10 +36,40 @@ def register_option(kind: int, decoder: Callable[[bytes], "TCPOption"]) -> None:
 
 @dataclass(frozen=True)
 class TCPOption:
-    """Base class.  Subclasses are frozen dataclasses (safe to share)."""
+    """Base class.  Subclasses are frozen dataclasses (safe to share).
+
+    ``wire_len``/``wire`` are the preparsed codec.  The encoded form of
+    a frozen option can never change, so its *length* is fixed at
+    construction: ``__post_init__`` stores ``encoded_len()`` — pure
+    arithmetic on the fields, no byte building — through
+    ``object.__setattr__`` (bypassing the frozen-dataclass setattr).
+    All hot-path sizing (``Segment.size_bytes``, link serialisation,
+    middlebox option-space checks) reads that plain attribute; the
+    actual ``wire`` bytes are built lazily on first use, which on the
+    data path is never (only traces, checksum rewrites and tests
+    serialise options).  ``encoded_len`` must agree with
+    ``len(encode())``; the wire tests enforce it per option type.
+    """
+
+    # Computed in __post_init__; excluded from __init__/__eq__/__repr__
+    # so equality and construction stay purely field-based.
+    wire_len: int = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "wire_len", self.encoded_len())
 
     def encode(self) -> bytes:
         raise NotImplementedError
+
+    def encoded_len(self) -> int:
+        """Length of ``encode()`` without building it; subclasses with a
+        non-trivial layout override this with field arithmetic."""
+        return len(self.encode())
+
+    @cached_property
+    def wire(self) -> bytes:
+        """Frozen encoded form, built at most once per instance."""
+        return self.encode()
 
     @property
     def kind(self) -> int:
@@ -54,6 +85,9 @@ class NoOperation(TCPOption):
     def encode(self) -> bytes:
         return bytes([KIND_NOP])
 
+    def encoded_len(self) -> int:
+        return 1
+
 
 @dataclass(frozen=True)
 class MSSOption(TCPOption):
@@ -65,6 +99,9 @@ class MSSOption(TCPOption):
 
     def encode(self) -> bytes:
         return bytes([KIND_MSS, 4]) + self.mss.to_bytes(2, "big")
+
+    def encoded_len(self) -> int:
+        return 4
 
 
 @dataclass(frozen=True)
@@ -78,6 +115,9 @@ class WindowScaleOption(TCPOption):
     def encode(self) -> bytes:
         return bytes([KIND_WSCALE, 3, self.shift])
 
+    def encoded_len(self) -> int:
+        return 3
+
 
 @dataclass(frozen=True)
 class SACKPermitted(TCPOption):
@@ -87,6 +127,9 @@ class SACKPermitted(TCPOption):
 
     def encode(self) -> bytes:
         return bytes([KIND_SACK_PERMITTED, 2])
+
+    def encoded_len(self) -> int:
+        return 2
 
 
 @dataclass(frozen=True)
@@ -105,6 +148,9 @@ class SACKOption(TCPOption):
         )
         return bytes([KIND_SACK, 2 + len(body)]) + body
 
+    def encoded_len(self) -> int:
+        return 2 + 8 * len(self.blocks)
+
 
 @dataclass(frozen=True)
 class TimestampsOption(TCPOption):
@@ -121,6 +167,15 @@ class TimestampsOption(TCPOption):
             + (self.tsval & 0xFFFFFFFF).to_bytes(4, "big")
             + (self.tsecr & 0xFFFFFFFF).to_bytes(4, "big")
         )
+
+    def encoded_len(self) -> int:
+        return 10
+
+    def __post_init__(self) -> None:
+        # Fixed 10-byte layout: one TimestampsOption is built per sent
+        # segment (modulo the socket's one-slot memo), so skip the
+        # generic encoded_len() dispatch.
+        object.__setattr__(self, "wire_len", 10)
 
 
 @dataclass(frozen=True)
@@ -140,6 +195,9 @@ class UnknownOption(TCPOption):
 
     def encode(self) -> bytes:
         return bytes([self.unknown_kind, 2 + len(self.body)]) + self.body
+
+    def encoded_len(self) -> int:
+        return 2 + len(self.body)
 
 
 def _decode_mss(body: bytes) -> TCPOption:
@@ -177,16 +235,18 @@ register_option(KIND_TIMESTAMPS, _decode_timestamps)
 
 def encode_options(options: Iterable[TCPOption]) -> bytes:
     """Encode an option list, padded with NOPs to a 4-byte boundary."""
-    blob = b"".join(option.encode() for option in options)
+    blob = b"".join(option.wire for option in options)
     remainder = len(blob) % 4
     if remainder:
-        blob += bytes([KIND_NOP]) * (4 - remainder)
+        blob += b"\x01" * (4 - remainder)  # KIND_NOP padding
     return blob
 
 
 def options_length(options: Iterable[TCPOption]) -> int:
     """Padded encoded length; the value the TCP data offset must cover."""
-    raw = sum(len(option.encode()) for option in options)
+    raw = 0
+    for option in options:
+        raw += option.wire_len
     return (raw + 3) // 4 * 4
 
 

@@ -31,6 +31,10 @@ _FLAG_NAMES = [(SYN, "SYN"), (ACK, "ACK"), (FIN, "FIN"), (RST, "RST"), (PSH, "PS
 # Fixed header sizes used for packet sizing (IPv4 + TCP without options).
 IP_HEADER_BYTES = 20
 TCP_HEADER_BYTES = 20
+
+# Lazily bound reference to repro.net.options.options_length (circular
+# import: that module imports this one for the option base class).
+_options_length = None
 MAX_OPTION_BYTES = 40  # TCP data-offset field limits options to 40 bytes
 
 SEQ_MOD = 1 << 32
@@ -72,6 +76,7 @@ class Segment:
         "ack",
         "flags",
         "window",
+        "payload_len",
         "_options",
         "_options_len_cache",
         "_payload",
@@ -90,6 +95,7 @@ class Segment:
         options: Optional[list["TCPOption"]] = None,
         payload: "Buffer" = b"",
         created_at: float = 0.0,
+        payload_len: Optional[int] = None,
     ):
         self.src = src
         self.dst = dst
@@ -100,8 +106,73 @@ class Segment:
         self._options: list["TCPOption"] = options if options is not None else []
         self._options_len_cache: Optional[tuple[int, int]] = None
         self._payload: "Buffer" = payload
+        # Cached len(payload): links, sockets and the DSS machinery read
+        # the payload length several times per hop, and len() of a
+        # zero-copy PayloadView is a Python-level call.  Senders that
+        # already know the length pass it to skip even the initial len().
+        self.payload_len: int = len(payload) if payload_len is None else payload_len
         self._size_cache: Optional[tuple[int, int]] = None
         self.created_at = created_at
+
+    # ------------------------------------------------------------------
+    # Flyweight pool.  acquire() reuses a released shell instead of
+    # allocating; release() is *owner-asserted*: only call it when no
+    # other reference to the segment can exist (the refcount equality
+    # check in Host.deliver is the one automated release site).  A
+    # released segment drops its payload/options references immediately,
+    # so the pool never pins buffers.
+    # ------------------------------------------------------------------
+    _pool: list["Segment"] = []
+    _POOL_MAX = 512
+
+    @classmethod
+    def acquire(
+        cls,
+        src: Endpoint,
+        dst: Endpoint,
+        seq: int = 0,
+        ack: int = 0,
+        flags: int = 0,
+        window: int = 0,
+        options: Optional[list["TCPOption"]] = None,
+        payload: "Buffer" = b"",
+        created_at: float = 0.0,
+        payload_len: Optional[int] = None,
+    ) -> "Segment":
+        """Pooled constructor: recycle a released Segment shell if one is
+        available.  The zero-payload default (``b""``, the interned empty
+        bytes object) makes the pure-ACK path allocation-free."""
+        pool = cls._pool
+        if not pool:
+            return cls(
+                src, dst, seq, ack, flags, window, options, payload, created_at,
+                payload_len,
+            )
+        segment = pool.pop()
+        segment.src = src
+        segment.dst = dst
+        segment.seq = seq % SEQ_MOD
+        segment.ack = ack % SEQ_MOD
+        segment.flags = flags
+        segment.window = window
+        segment._options = options if options is not None else []
+        segment._options_len_cache = None
+        segment._payload = payload
+        segment.payload_len = len(payload) if payload_len is None else payload_len
+        segment._size_cache = None
+        segment.created_at = created_at
+        return segment
+
+    def release(self) -> None:
+        """Return this segment's shell to the pool (owner-asserted)."""
+        self._options = []
+        self._options_len_cache = None
+        self._payload = b""
+        self.payload_len = 0
+        self._size_cache = None
+        pool = Segment._pool
+        if len(pool) < Segment._POOL_MAX:
+            pool.append(self)
 
     @property
     def options(self) -> list["TCPOption"]:
@@ -120,6 +191,7 @@ class Segment:
     @payload.setter
     def payload(self, payload: "Buffer") -> None:
         self._payload = payload
+        self.payload_len = len(payload)
         self._size_cache = None
 
     # ------------------------------------------------------------------
@@ -145,12 +217,18 @@ class Segment:
     # Sizing
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._payload)
+        return self.payload_len
 
     @property
     def seq_space(self) -> int:
         """Bytes of sequence space consumed (payload plus SYN/FIN)."""
-        return len(self._payload) + (1 if self.syn else 0) + (1 if self.fin else 0)
+        flags = self.flags
+        length = self.payload_len
+        if flags & SYN:
+            length += 1
+        if flags & FIN:
+            length += 1
+        return length
 
     @property
     def end_seq(self) -> int:
@@ -168,9 +246,14 @@ class Segment:
         count = len(self._options)
         if cache is not None and cache[0] == count:
             return cache[1]
-        from repro.net.options import options_length
+        global _options_length
+        if _options_length is None:
+            # Imported lazily (repro.net.options imports this module);
+            # bound once instead of re-importing per cache miss.
+            from repro.net.options import options_length
 
-        length = options_length(self._options)
+            _options_length = options_length
+        length = _options_length(self._options)
         self._options_len_cache = (count, length)
         return length
 
@@ -189,8 +272,14 @@ class Segment:
         count = len(self._options)
         if cache is not None and cache[0] == count:
             return cache[1]
+        # Inline of options_length(): Link.send reads this once per
+        # transmitted segment, and the method + helper dispatch pair was
+        # measurable at that rate.
+        raw = 0
+        for option in self._options:
+            raw += option.wire_len
         size = (
-            IP_HEADER_BYTES + TCP_HEADER_BYTES + self.options_length() + len(self._payload)
+            IP_HEADER_BYTES + TCP_HEADER_BYTES + (raw + 3) // 4 * 4 + self.payload_len
         )
         self._size_cache = (count, size)
         return size

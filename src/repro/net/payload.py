@@ -203,7 +203,14 @@ def concat(pieces: Iterable[Buffer]):
     ``bytes``.  The return type is ``bytes | PayloadView`` — callers
     treat both uniformly through the view API.
     """
-    live = [piece for piece in pieces if len(piece)]
+    # Type-split length reads: len() of a PayloadView enters a
+    # Python-level __len__, and this filter runs once per reassembled
+    # chunk on the receive hot path.
+    live = [
+        piece
+        for piece in pieces
+        if (piece._length if type(piece) is PayloadView else len(piece))
+    ]
     if not live:
         return b""
     if len(live) == 1:

@@ -1,0 +1,346 @@
+"""Hierarchical timer wheel: O(1) arm/disarm for restartable timers.
+
+Design notes
+------------
+* Entries are :class:`repro.sim.engine.Timer` objects, linked
+  *intrusively* (``_wprev``/``_wnext`` slots) into per-slot
+  doubly-linked lists.  Arming, re-arming and disarming a timer are
+  pointer relinks -- no allocation, no heap sift, and no cancelled
+  corpse left behind for the event loop to skip later.  This is the
+  fix for the per-ACK ``Timer.restart`` churn: under the old heapq
+  scheme every RTO restart pushed a fresh event and left a lazy-cancel
+  corpse; tens of thousands per bulk transfer, of which a handful ever
+  fired.
+* Geometry: 1/1024 s resolution (``tick = int(time * 1024.0)`` -- 1024
+  is a power of two, so the scaling is exact and monotone in ``time``),
+  three levels of 256 slots.  Level 0 spans deltas < 256 ticks
+  (0.25 s), level 1 < 2**16 ticks (64 s), level 2 < 2**24 ticks
+  (~4.5 h); anything further sits in a single overflow list.  Far
+  entries *cascade* down a level as the cursor approaches them.
+* Exact keys, approximate buckets: every entry carries its exact
+  ``(_time, _seq)``; slot membership only narrows the search for the
+  earliest entry, it never decides firing order.  The conformance
+  contract with the event heap is that timers interleave with heap
+  events in exact ``(time, seq)`` order, where seqs come from the one
+  simulator-wide counter -- ``tests/test_timer_wheel.py`` holds the
+  differential gate against a reference heap.
+* The earliest entry is cached; mutations that can change it (removing
+  the cached minimum) just invalidate the cache, and the next peek
+  recomputes it from per-level occupancy bitmasks.  Each mask is one
+  256-bit int; rotating it by the cursor offset and taking the lowest
+  set bit finds the first occupied slot without scanning 256 Python
+  list cells.
+* Cursor invariant: ``_cursor`` only ever advances to ``int(now *
+  1024)`` and every pending entry has ``tick >= _cursor`` (timers are
+  never armed in the past).  Hence all level-L entries lie within one
+  wheel revolution ``[_cursor, _cursor + span_L)`` -- no two
+  generations ever share a slot, which is what makes the rotated-mask
+  lookup sound.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from repro.sim.engine import Timer
+
+# Ticks per simulated second.  A power of two keeps float -> tick
+# conversion exact (multiplying a float by 1024.0 only changes the
+# exponent), so slot placement is a pure function of the timer's time.
+TICKS_PER_SEC = 1024.0
+
+_SLOT_BITS = 8
+_SLOTS = 1 << _SLOT_BITS  # 256 slots per level
+_SLOT_MASK = _SLOTS - 1
+_SPAN0 = _SLOTS  # level-0 window, in ticks
+_SPAN1 = 1 << (2 * _SLOT_BITS)
+_SPAN2 = 1 << (3 * _SLOT_BITS)
+_FULL_MASK = (1 << _SLOTS) - 1
+_OVERFLOW = 3  # pseudo-level for the far-future list
+
+
+class TimerWheel:
+    """Three-level hashed timer wheel over intrusive ``Timer`` entries."""
+
+    __slots__ = (
+        "_slots0",
+        "_slots1",
+        "_slots2",
+        "_overflow",
+        "_mask0",
+        "_mask1",
+        "_mask2",
+        "_cursor",
+        "_count",
+        "_min",
+    )
+
+    def __init__(self) -> None:
+        self._slots0: list[Optional["Timer"]] = [None] * _SLOTS
+        self._slots1: list[Optional["Timer"]] = [None] * _SLOTS
+        self._slots2: list[Optional["Timer"]] = [None] * _SLOTS
+        self._overflow: Optional["Timer"] = None
+        self._mask0 = 0  # bit s set iff _slots0[s] is non-empty
+        self._mask1 = 0
+        self._mask2 = 0
+        self._cursor = 0  # tick of the last recompute; never exceeds now
+        self._count = 0
+        # Cached earliest entry; None means "recompute on next peek"
+        # whenever _count > 0.  Removing the cached minimum invalidates;
+        # inserting an earlier entry updates it in place.
+        self._min: Optional["Timer"] = None
+
+    def __len__(self) -> int:
+        return self._count
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, t: "Timer") -> None:
+        """Link an armed timer; ``t._time``/``t._seq`` must be set."""
+        tick = int(t._time * TICKS_PER_SEC)
+        t._wtick = tick
+        if tick - self._cursor < _SPAN0:
+            # Inline of _place()'s level-0 arm: most timers (RTO
+            # restarts, delayed ACKs, link events) land within the
+            # level-0 window, and insert() runs once per (re)armed
+            # timer.  _place() stays the shared slow path (levels 1+,
+            # and relocation during cascades).
+            idx = tick & _SLOT_MASK
+            head = self._slots0[idx]
+            self._slots0[idx] = t
+            self._mask0 |= 1 << idx
+            t._wlevel = 0
+            t._wslot = idx
+            t._wprev = None
+            t._wnext = head
+            if head is not None:
+                head._wprev = t
+        else:
+            self._place(t, tick)
+        self._count += 1
+        m = self._min
+        if m is None:
+            if self._count == 1:  # wheel was empty: t is trivially earliest
+                self._min = t
+        elif t._time < m._time or (
+            t._time == m._time
+            and t._seq < m._seq  # analyze: ok(SEQ01): event counter, never wraps
+        ):
+            self._min = t
+
+    def remove(self, t: "Timer") -> None:
+        """Unlink an armed timer (pointer relinks; no scan)."""
+        # Inline of _unlink(): remove() runs once per fired or cancelled
+        # timer; _unlink() remains for cascade relocation.
+        prev = t._wprev
+        nxt = t._wnext
+        if nxt is not None:
+            nxt._wprev = prev
+        if prev is not None:
+            prev._wnext = nxt
+        else:
+            level = t._wlevel
+            idx = t._wslot
+            if level == 0:
+                self._slots0[idx] = nxt
+                if nxt is None:
+                    self._mask0 &= ~(1 << idx)
+            elif level == 1:
+                self._slots1[idx] = nxt
+                if nxt is None:
+                    self._mask1 &= ~(1 << idx)
+            elif level == 2:
+                self._slots2[idx] = nxt
+                if nxt is None:
+                    self._mask2 &= ~(1 << idx)
+            else:
+                self._overflow = nxt
+        t._wprev = None
+        t._wnext = None
+        t._wlevel = -1
+        self._count -= 1
+        if t is self._min:
+            self._min = None  # recomputed lazily on the next peek
+
+    # ------------------------------------------------------------------
+    # Peek
+    # ------------------------------------------------------------------
+    def earliest(self, now: float) -> Optional["Timer"]:
+        """The pending timer with the smallest ``(time, seq)``, or None."""
+        if self._count == 0:
+            return None
+        m = self._min
+        if m is None:
+            m = self.find_min(now)
+        return m
+
+    def find_min(self, now: float) -> "Timer":
+        """Recompute the cached minimum.  Caller ensures ``_count > 0``."""
+        cursor = int(now * TICKS_PER_SEC)
+        if cursor > self._cursor:
+            self._cursor = cursor
+        else:
+            cursor = self._cursor
+        # Cascade far entries whose delta has shrunk below their level's
+        # resolution; top-down so one pass suffices.  Only the (at most
+        # two) higher-level slots overlapping the lower level's window
+        # can hold such entries -- see the cursor invariant above.
+        if self._overflow is not None:
+            self._cascade_overflow(cursor)
+        if self._mask2:
+            base = cursor >> (2 * _SLOT_BITS)
+            limit = cursor + _SPAN1
+            self._cascade(self._slots2, 2, base & _SLOT_MASK, limit)
+            self._cascade(self._slots2, 2, (base + 1) & _SLOT_MASK, limit)
+        if self._mask1:
+            base = cursor >> _SLOT_BITS
+            limit = cursor + _SPAN0
+            self._cascade(self._slots1, 1, base & _SLOT_MASK, limit)
+            self._cascade(self._slots1, 1, (base + 1) & _SLOT_MASK, limit)
+
+        if self._mask0:
+            best = self._slot_min(self._slots0, self._mask0, cursor)
+        elif self._mask1:
+            best = self._slot_min(self._slots1, self._mask1, cursor >> _SLOT_BITS)
+        elif self._mask2:
+            best = self._slot_min(self._slots2, self._mask2, cursor >> (2 * _SLOT_BITS))
+        else:
+            best = self._overflow_min()
+        self._min = best
+        return best
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _place(self, t: "Timer", tick: int) -> None:
+        delta = tick - self._cursor
+        if delta < _SPAN0:
+            level = 0
+            idx = tick & _SLOT_MASK
+            head = self._slots0[idx]
+            self._slots0[idx] = t
+            self._mask0 |= 1 << idx
+        elif delta < _SPAN1:
+            level = 1
+            idx = (tick >> _SLOT_BITS) & _SLOT_MASK
+            head = self._slots1[idx]
+            self._slots1[idx] = t
+            self._mask1 |= 1 << idx
+        elif delta < _SPAN2:
+            level = 2
+            idx = (tick >> (2 * _SLOT_BITS)) & _SLOT_MASK
+            head = self._slots2[idx]
+            self._slots2[idx] = t
+            self._mask2 |= 1 << idx
+        else:
+            level = _OVERFLOW
+            idx = 0
+            head = self._overflow
+            self._overflow = t
+        t._wlevel = level
+        t._wslot = idx
+        t._wprev = None
+        t._wnext = head
+        if head is not None:
+            head._wprev = t
+
+    def _unlink(self, t: "Timer") -> None:
+        prev = t._wprev
+        nxt = t._wnext
+        if nxt is not None:
+            nxt._wprev = prev
+        if prev is not None:
+            prev._wnext = nxt
+        else:
+            level = t._wlevel
+            idx = t._wslot
+            if level == 0:
+                self._slots0[idx] = nxt
+                if nxt is None:
+                    self._mask0 &= ~(1 << idx)
+            elif level == 1:
+                self._slots1[idx] = nxt
+                if nxt is None:
+                    self._mask1 &= ~(1 << idx)
+            elif level == 2:
+                self._slots2[idx] = nxt
+                if nxt is None:
+                    self._mask2 &= ~(1 << idx)
+            else:
+                self._overflow = nxt
+        t._wprev = None
+        t._wnext = None
+
+    def _cascade(
+        self,
+        slots: list,
+        level: int,
+        idx: int,
+        limit: int,
+    ) -> None:
+        """Move entries due before ``limit`` out of ``slots[idx]`` down a
+        level.  Times are untouched, so the cached minimum stays valid."""
+        t = slots[idx]
+        due = None
+        while t is not None:
+            if t._wtick < limit:
+                if due is None:
+                    due = [t]
+                else:
+                    due.append(t)
+            t = t._wnext
+        if due is not None:
+            for entry in due:
+                self._unlink(entry)
+                self._place(entry, entry._wtick)
+
+    def _cascade_overflow(self, cursor: int) -> None:
+        limit = cursor + _SPAN2
+        t = self._overflow
+        due = None
+        while t is not None:
+            if t._wtick < limit:
+                if due is None:
+                    due = [t]
+                else:
+                    due.append(t)
+            t = t._wnext
+        if due is not None:
+            for entry in due:
+                self._unlink(entry)
+                self._place(entry, entry._wtick)
+
+    def _slot_min(self, slots: list, mask: int, base: int) -> "Timer":
+        """Earliest entry of a level: rotate the occupancy mask so the
+        cursor's slot is bit 0, take the lowest set bit, then walk that
+        one slot's list for the exact ``(time, seq)`` minimum."""
+        start = base & _SLOT_MASK
+        rotated = ((mask >> start) | (mask << (_SLOTS - start))) & _FULL_MASK
+        offset = (rotated & -rotated).bit_length() - 1
+        t = slots[(start + offset) & _SLOT_MASK]
+        best = t
+        t = t._wnext
+        while t is not None:
+            if t._time < best._time or (
+                t._time == best._time
+                and t._seq < best._seq  # analyze: ok(SEQ01): event counter, never wraps
+            ):
+                best = t
+            t = t._wnext
+        return best
+
+    def _overflow_min(self) -> "Timer":
+        t = self._overflow
+        best = t
+        assert best is not None  # caller checked _count > 0 and levels empty
+        t = t._wnext
+        while t is not None:
+            if t._time < best._time or (
+                t._time == best._time
+                and t._seq < best._seq  # analyze: ok(SEQ01): event counter, never wraps
+            ):
+                best = t
+            t = t._wnext
+        return best

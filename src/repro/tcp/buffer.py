@@ -48,6 +48,7 @@ class ByteStream:
     def __init__(self, base: int = 0):
         self._chunks: list[Buffer] = []  # immutable bytes / PayloadView
         self._chunk_ends: list[int] = []  # absolute end offset per chunk
+        self._chunk_starts: list[int] = []  # absolute start offset per chunk
         self.head = base  # absolute offset of first retained byte
         self.tail = base  # absolute offset one past the last byte
 
@@ -64,6 +65,7 @@ class ByteStream:
         if isinstance(data, (bytearray, memoryview)):
             data = bytes(data)
         self._chunks.append(data)
+        self._chunk_starts.append(self.tail)
         self.tail += length
         self._chunk_ends.append(self.tail)
         return self.tail
@@ -80,26 +82,28 @@ class ByteStream:
             raise IndexError(f"range [{offset},{offset+length}) beyond tail {self.tail}")
         if length == 0:
             return _EMPTY_VIEW
-        index = bisect_right(self._chunk_ends, offset)
-        chunk = self._chunks[index]
-        start = offset - (self._chunk_ends[index] - len(chunk))
-        if start + length <= len(chunk):
+        ends = self._chunk_ends
+        index = bisect_right(ends, offset)
+        chunk_start = self._chunk_starts[index]
+        start = offset - chunk_start
+        if start + length <= ends[index] - chunk_start:
             # Fast path (nearly every peek: apps append 64 KiB chunks,
             # sockets peek at most one MSS): construct the subview
             # directly rather than wrap-then-slice.
+            chunk = self._chunks[index]
             if type(chunk) is PayloadView:
                 return PayloadView(chunk._data, chunk._offset + start, length)
             return PayloadView(chunk, start, length)
         pieces: list[bytes] = []
         remaining = length
         while True:
-            take = min(remaining, len(chunk) - start)
+            chunk = self._chunks[index]
+            take = min(remaining, ends[index] - self._chunk_starts[index] - start)
             pieces.append(as_view(chunk)[start : start + take])
             remaining -= take
             if not remaining:
                 break
             index += 1
-            chunk = self._chunks[index]
             start = 0
         return as_view(concat(pieces))
 
@@ -119,6 +123,7 @@ class ByteStream:
         if drop:
             del self._chunks[:drop]
             del self._chunk_ends[:drop]
+            del self._chunk_starts[:drop]
 
     def __len__(self) -> int:
         """Bytes currently held in memory."""
@@ -167,39 +172,49 @@ class ReassemblyQueue:
         Returns the number of genuinely new bytes stored.
         """
         data = as_view(data)
-        if limit is not None and start + len(data) > limit:
-            data = data[: max(0, limit - start)]
-        if not data:
+        # PayloadView's length slot, read once: len() of a view is a
+        # Python-level call and this method runs once per data segment.
+        length = data._length
+        if limit is not None and start + length > limit:
+            length = limit - start
+            if length <= 0:
+                return 0
+            data = data[:length]
+        if length == 0:
             return 0
-        end = start + len(data)
+        end = start + length
 
         # Collect every existing run overlapping or adjacent to [start, end).
-        first = bisect_left(self._starts, start)
+        starts = self._starts
+        runs = self._runs
+        first = bisect_left(starts, start)
         if first > 0:
-            prev_start = self._starts[first - 1]
-            if prev_start + self._runs[prev_start].length >= start:
+            prev_start = starts[first - 1]
+            if prev_start + runs[prev_start].length >= start:
                 first -= 1
         last = first
-        while last < len(self._starts) and self._starts[last] <= end:
+        count = len(starts)
+        while last < count and starts[last] <= end:
             last += 1
-        overlapping = self._starts[first:last]
 
-        if not overlapping:
-            self._starts.insert(first, start)
-            self._runs[start] = _Run([data], len(data))
-            self.buffered_bytes += len(data)
-            return len(data)
+        if first == last:
+            starts.insert(first, start)
+            runs[start] = _Run([data], length)
+            self.buffered_bytes += length
+            return length
+        overlapping = starts[first:last]
 
         # Walk the merge window left to right: existing runs keep their
         # pieces; the gaps between them are filled by slicing the new
         # view.  Every gap inside the window is covered by [start, end)
         # (that is what made both neighbours part of the window).
-        merged_start = min(start, overlapping[0])
+        other = overlapping[0]
+        merged_start = start if start < other else other
         pieces: list[Buffer] = []
         stored = 0
         cursor = merged_start
         for run_start in overlapping:
-            run = self._runs.pop(run_start)
+            run = runs.pop(run_start)
             if run_start > cursor:
                 pieces.append(data[cursor - start : run_start - start])
                 stored += run_start - cursor
@@ -210,9 +225,9 @@ class ReassemblyQueue:
             stored += end - cursor
             cursor = end
 
-        del self._starts[first:last]
-        self._starts.insert(first, merged_start)
-        self._runs[merged_start] = _Run(pieces, cursor - merged_start)
+        del starts[first:last]
+        starts.insert(first, merged_start)
+        runs[merged_start] = _Run(pieces, cursor - merged_start)
         self.buffered_bytes += stored
         return stored
 

@@ -34,14 +34,20 @@ class RTTEstimator:
         self.min_rtt: Optional[float] = None
         self.latest_rtt: Optional[float] = None
         self.samples = 0
-        self._rto = initial_rto
+        # ``rto`` and ``smoothed`` are plain attributes, not properties:
+        # the send path reads them on every ACK (timer restarts and
+        # scheduler ordering), so they are updated once per sample()
+        # instead of being recomputed behind a descriptor each read.
+        self.rto = initial_rto
+        self.smoothed = initial_rto  # srtt with a sane pre-sample default
 
     def sample(self, rtt: float) -> None:
         """Feed one RTT measurement (never from a retransmitted segment —
         Karn's rule is enforced by the caller)."""
         if rtt < 0:
             raise ValueError("negative RTT sample")
-        rtt = max(rtt, self.granularity)
+        if rtt < self.granularity:
+            rtt = self.granularity
         self.latest_rtt = rtt
         self.samples += 1
         if self.min_rtt is None or rtt < self.min_rtt:
@@ -53,23 +59,20 @@ class RTTEstimator:
             assert self.rttvar is not None
             self.rttvar = (1 - self.BETA) * self.rttvar + self.BETA * abs(self.srtt - rtt)
             self.srtt = (1 - self.ALPHA) * self.srtt + self.ALPHA * rtt
-        self._rto = self.srtt + max(self.granularity, self.K * self.rttvar)
-        self._rto = min(self.max_rto, max(self.min_rto, self._rto))
-
-    @property
-    def rto(self) -> float:
-        return self._rto
+        self.smoothed = self.srtt
+        var = self.K * self.rttvar
+        rto = self.srtt + (var if var > self.granularity else self.granularity)
+        if rto < self.min_rto:
+            rto = self.min_rto
+        elif rto > self.max_rto:
+            rto = self.max_rto
+        self.rto = rto
 
     def backoff(self) -> float:
         """Exponential backoff after a retransmission timeout."""
-        self._rto = min(self.max_rto, self._rto * 2)
-        return self._rto
-
-    @property
-    def smoothed(self) -> float:
-        """srtt with a sane default before the first sample."""
-        return self.srtt if self.srtt is not None else self.initial_rto
+        self.rto = min(self.max_rto, self.rto * 2)
+        return self.rto
 
     def __repr__(self) -> str:  # pragma: no cover
         srtt = f"{self.srtt*1000:.1f}ms" if self.srtt is not None else "?"
-        return f"<RTT srtt={srtt} rto={self._rto*1000:.0f}ms>"
+        return f"<RTT srtt={srtt} rto={self.rto*1000:.0f}ms>"

@@ -39,6 +39,7 @@ from repro.net.options import (
     TCPOption,
     TimestampsOption,
     WindowScaleOption,
+    options_length,
 )
 from repro.net.packet import ACK, FIN, PSH, RST, SYN, Endpoint, Segment
 from repro.net.payload import Buffer, as_memoryview
@@ -46,7 +47,9 @@ from repro.sim import Timer
 from repro.tcp.buffer import ByteStream, ReassemblyQueue
 from repro.tcp.cc import CongestionController, NewReno
 from repro.tcp.rtt import RTTEstimator
-from repro.tcp.seq import SEQ_MOD, seq_diff
+from repro.tcp.seq import SEQ_MOD
+
+_SEQ_HALF = 1 << 31
 from repro.tcp.state import TCPState
 
 
@@ -172,6 +175,9 @@ class TCPSocket:
         self._peer_fin_unit: Optional[int] = None
         self._ack_pending = 0
         self._ts_recent = 0
+        # One-slot memo: segments sent in the same event burst share a
+        # tsval/tsecr pair, and TimestampsOption is frozen (shareable).
+        self._ts_option_cache: Optional[TimestampsOption] = None
 
         # --- negotiated options -----------------------------------------
         self.snd_wscale = 0  # shift applied to windows we receive
@@ -307,7 +313,7 @@ class TCPSocket:
         """Send a RST and tear everything down (used for subflow resets)."""
         if self.state.synchronized or self.state is TCPState.SYN_RCVD:
             reset = self._make_segment(flags=RST | ACK, seq_unit=self.snd_nxt)
-            self._transmit(reset)
+            self.host.send(reset)
         self._destroy(error="aborted")
 
     # ==================================================================
@@ -351,18 +357,22 @@ class TCPSocket:
         """Passive side: first segment after our SYN/ACK (MPTCP fallback
         detection point, §3.1)."""
 
-    def _pull_new_data(self, max_bytes: int) -> Optional[tuple[Buffer, list[TCPOption], bool]]:
+    def _pull_new_data(
+        self, max_bytes: int
+    ) -> Optional[tuple[Buffer, int, list[TCPOption], bool]]:
         """Produce up to ``max_bytes`` of new payload.
 
-        Returns (payload, sticky_options, fin) or None when there is
-        nothing (more) to send right now.  The base implementation reads
-        the socket's own send buffer and applies Nagle's algorithm.
+        Returns (payload, length, sticky_options, fin) or None when
+        there is nothing (more) to send right now.  The length rides
+        along so the send path never len()s the (PayloadView) payload.
+        The base implementation reads the socket's own send buffer and
+        applies Nagle's algorithm.
         """
         next_stream = self.snd_nxt - 1  # stream offset of first unsent byte
         available = self.snd_buf.tail - next_stream
         if available <= 0:
             if self._fin_ready():
-                return (b"", [], True)
+                return (b"", 0, [], True)
             return None
         length = min(available, max_bytes)
         if (
@@ -375,7 +385,7 @@ class TCPSocket:
             return None  # tinygram with data in flight: wait (Nagle)
         payload = self.snd_buf.peek(next_stream, length)
         fin = self._fin_pending and (length == available)
-        return (payload, [], fin)
+        return (payload, length, [], fin)
 
     def _fin_ready(self) -> bool:
         return self._fin_pending and not self._fin_sent
@@ -415,10 +425,11 @@ class TCPSocket:
 
     def _window_to_advertise(self) -> int:
         """Receive window in bytes (TCP: own buffer headroom)."""
-        return max(0, self.rcv_buf_limit - len(self._rx_ready) - len(self.reassembly))
+        room = self.rcv_buf_limit - len(self._rx_ready) - self.reassembly.buffered_bytes
+        return room if room > 0 else 0
 
     def _rx_memory_bytes(self) -> int:
-        return len(self._rx_ready) + len(self.reassembly)
+        return len(self._rx_ready) + self.reassembly.buffered_bytes
 
     def _on_subflow_dead(self) -> None:
         """Too many consecutive RTOs.  Plain TCP: give up."""
@@ -467,7 +478,7 @@ class TCPSocket:
                 SentSegment(0, 1, b"", [], self.sim.now, syn=True)
             )
             self.snd_nxt = 1
-        self._transmit(segment)
+        self.host.send(segment)
         self._rto_timer.restart(self.rtt.rto)
 
     def _send_synack(self) -> None:
@@ -481,7 +492,7 @@ class TCPSocket:
                 SentSegment(0, 1, b"", [], self.sim.now, syn=True)
             )
             self.snd_nxt = 1
-        self._transmit(segment)
+        self.host.send(segment)
         self._rto_timer.restart(self.rtt.rto)
 
     def _autotune_tick(self) -> None:
@@ -568,25 +579,31 @@ class TCPSocket:
         # client/server.)
 
     def _arrives_synchronized(self, segment: Segment) -> None:
+        flags = segment.flags
         # --- RST --------------------------------------------------------
-        if segment.rst:
+        if flags & RST:
             seq_unit = self._unit_from_seq(segment.seq)
             if self.rcv_nxt <= seq_unit <= self._rcv_adv_edge or self.state is TCPState.SYN_RCVD:
                 self._fail("connection reset")
             return
 
         # --- duplicate SYN (our SYN/ACK was lost) ------------------------
-        if segment.syn and self.state is TCPState.SYN_RCVD:
+        if flags & SYN and self.state is TCPState.SYN_RCVD:
             self._send_synack()
             return
 
         seq_unit = self._unit_from_seq(segment.seq)
-        seg_len = segment.seq_space
+        seg_len = segment.payload_len
+        if flags & (SYN | FIN):  # sequence space consumed by SYN/FIN bits
+            if flags & SYN:
+                seg_len += 1
+            if flags & FIN:
+                seg_len += 1
 
         # --- acceptability check (RFC 793 window test) -------------------
         window = self._rcv_adv_edge - self.rcv_nxt
         acceptable = (
-            (seg_len == 0 and (window > 0 or seq_unit == self.rcv_nxt) and seq_unit <= self.rcv_nxt + max(window, 0))
+            (seg_len == 0 and (window > 0 or seq_unit == self.rcv_nxt) and seq_unit <= self.rcv_nxt + (window if window > 0 else 0))
             or (seg_len > 0 and seq_unit + seg_len > self.rcv_nxt and seq_unit <= self.rcv_nxt + window)
         )
         if seg_len == 0 and seq_unit < self.rcv_nxt:
@@ -608,14 +625,25 @@ class TCPSocket:
             else:
                 return  # need the handshake-completing ACK first
 
-        # --- timestamps ---------------------------------------------------
-        ts = segment.find_option(TimestampsOption) if self.ts_enabled else None
-        if ts is not None and seq_unit <= self.rcv_nxt:
+        # --- timestamps / SACK (one scan for both option kinds) -----------
+        ts: Optional[TimestampsOption] = None
+        sack: Optional[SACKOption] = None
+        for option in segment._options:
+            cls = option.__class__
+            if cls is TimestampsOption:
+                if ts is None:
+                    ts = option
+            elif cls is SACKOption:
+                if sack is None:
+                    sack = option
+        if not self.ts_enabled:
+            ts = None
+        elif ts is not None and seq_unit <= self.rcv_nxt:
             self._ts_recent = ts.tsval
 
         # --- ACK processing ----------------------------------------------
-        if segment.has_ack:
-            self._process_ack(segment, ts)
+        if segment.flags & ACK:
+            self._process_ack(segment, ts, sack if self.sack_enabled else None)
 
         if self.state is TCPState.CLOSED:
             return
@@ -624,12 +652,12 @@ class TCPSocket:
         self._process_segment_options(segment)
 
         # --- payload -------------------------------------------------------
-        if len(segment.payload) > 0:
+        if segment.payload_len > 0:
             self._process_payload(segment, seq_unit)
 
         # --- FIN -----------------------------------------------------------
-        if segment.fin:
-            fin_unit = seq_unit + len(segment.payload)
+        if flags & FIN:
+            fin_unit = seq_unit + segment.payload_len
             if self._peer_fin_unit is None or fin_unit < self._peer_fin_unit:
                 self._peer_fin_unit = fin_unit
             self._check_fin_consumable()
@@ -638,7 +666,12 @@ class TCPSocket:
     # ------------------------------------------------------------------
     # ACK path
     # ------------------------------------------------------------------
-    def _process_ack(self, segment: Segment, ts: Optional[TimestampsOption]) -> None:
+    def _process_ack(
+        self,
+        segment: Segment,
+        ts: Optional[TimestampsOption],
+        sack: Optional[SACKOption] = None,
+    ) -> None:
         ack_unit = self._unit_from_ack(segment.ack)
         if ack_unit > self.snd_nxt:
             # Acks data we never sent ("corrected" by a middlebox?): ignore.
@@ -647,9 +680,8 @@ class TCPSocket:
         # Any acceptable ACK is a sign of life: a peer with a closed
         # window keeps acking probes without advancing snd_una.
         self._consecutive_rtos = 0
-        window_bytes = self._scaled_window(segment)
-
-        sack = segment.find_option(SACKOption) if self.sack_enabled else None
+        # _scaled_window(), inlined: per-ACK hot path
+        window_bytes = segment.window << (0 if segment.flags & SYN else self.snd_wscale)
 
         if ack_unit > self.snd_una:
             acked = ack_unit - self.snd_una
@@ -695,9 +727,8 @@ class TCPSocket:
             # window update (grown or shrunk) is not a dupack.
             if (
                 ack_unit == self.snd_una
-                and len(segment.payload) == 0
-                and not segment.syn
-                and not segment.fin
+                and segment.payload_len == 0
+                and not segment.flags & (SYN | FIN)
                 and window_bytes == self._last_seen_window
                 and self._flight_bytes() > 0
             ):
@@ -709,7 +740,16 @@ class TCPSocket:
                 elif self._dupacks >= self._dupack_threshold():
                     self._enter_fast_recovery()
         self._last_seen_window = window_bytes
-        self._check_persist()
+        # _check_persist() is a no-op unless the peer window is closed,
+        # a persist cycle is active, or the probe timer is armed; guard
+        # here so the per-ACK path skips the call.  (``_wlevel >= 0`` is
+        # Timer.running without the property descriptor.)
+        if (
+            self._persist_backoff
+            or self._peer_wnd_edge <= self.snd_nxt
+            or self._persist_timer._wlevel >= 0
+        ):
+            self._check_persist()
         self._try_send()
 
     def _grow_cwnd(self, acked: int) -> None:
@@ -841,7 +881,7 @@ class TCPSocket:
         segment = self._make_segment(
             flags=flags, seq_unit=sent.start, payload=sent.payload, options=options
         )
-        self._transmit(segment)
+        self.host.send(segment)
 
     def _pop_acked_segments(self, ack_unit: int) -> None:
         queue = self._rtx_queue
@@ -909,6 +949,23 @@ class TCPSocket:
         payload = segment.payload
         stream_offset = seq_unit - 1
         limit = self._rcv_adv_edge - 1  # stream-offset right edge
+        reassembly = self.reassembly
+        if (
+            seq_unit == self.rcv_nxt
+            and not reassembly.block_count
+            and stream_offset + segment.payload_len <= limit
+        ):
+            # Fast path — the overwhelmingly common case on a clean
+            # path: exactly the next expected bytes, nothing buffered,
+            # fully inside the advertised window.  Inserting into the
+            # reassembly queue and extracting straight back out would
+            # store and immediately discard a run; hand the payload
+            # through directly instead (identical bytes, same ACK).
+            self.rcv_nxt += segment.payload_len
+            self._on_in_order_data(payload)
+            self._check_fin_consumable()
+            self._schedule_ack(immediate=False)
+            return
         in_order_before = seq_unit <= self.rcv_nxt
         if seq_unit > self.rcv_nxt:
             self.stats.out_of_order_segments += 1
@@ -959,9 +1016,9 @@ class TCPSocket:
         # (DSS DATA_ACK, handshake MACs, ADD_ADDR, ...) take priority;
         # SACK gets as many blocks as still fit — Linux does the same
         # (3 blocks with timestamps, fewer with more options).
-        from repro.net.options import options_length
-
-        options: list[TCPOption] = list(self._ack_options())
+        # Every _ack_options implementation returns a fresh list, so it
+        # may be extended in place.
+        options: list[TCPOption] = self._ack_options()
         if extra_options:
             options.extend(extra_options)
         timestamp_cost = 12 if self.ts_enabled else 0
@@ -984,7 +1041,7 @@ class TCPSocket:
             options.insert(0, SACKOption(blocks=blocks))
         segment = self._make_segment(flags=ACK, seq_unit=self.snd_nxt, options=options)
         self.stats.acks_sent += 1
-        self._transmit(segment)
+        self.host.send(segment)
 
     def _maybe_send_window_update(self) -> None:
         """After the app reads, re-advertise if the window grew usefully."""
@@ -1004,34 +1061,53 @@ class TCPSocket:
         """Estimate of bytes actually in the network ("pipe"): outstanding
         sequence units minus those presumed lost and those the receiver
         has selectively acknowledged."""
-        return max(0, self.snd_nxt - self.snd_una - self._lost_bytes - self._sacked_bytes)
+        flight = self.snd_nxt - self.snd_una - self._lost_bytes - self._sacked_bytes
+        return flight if flight > 0 else 0
 
     def usable_cwnd_space(self) -> int:
         """Bytes of congestion window not yet occupied by flight."""
-        cwnd = self.cc.cwnd + self._recovery_inflation
-        return max(0, cwnd - self._flight_bytes())
+        space = self.cc.cwnd + self._recovery_inflation - self._flight_bytes()
+        return space if space > 0 else 0
 
     def cwnd_allows_segment(self) -> bool:
         """Packet-granularity cwnd test (as Linux does): a full-MSS
         segment may go whenever flight, in segments, is below cwnd in
         segments — never fragment a segment to fit a cwnd byte remainder
         (that is sender-side silly window syndrome)."""
+        mss = self.mss
         cwnd = self.cc.cwnd + self._recovery_inflation
         if self._recover is None and self._dupacks:
             # RFC 3042 limited transmit: the first two dupacks release
             # one new segment each, keeping the ACK clock alive.
-            cwnd += min(self._dupacks, 2) * self.mss
-        cwnd_segments = max(1, (cwnd + self.mss // 2) // self.mss)
-        flight_segments = (self._flight_bytes() + self.mss - 1) // self.mss
-        return flight_segments < cwnd_segments
+            cwnd += (2 if self._dupacks > 2 else self._dupacks) * mss
+        cwnd_segments = (cwnd + mss // 2) // mss
+        if cwnd_segments < 1:
+            cwnd_segments = 1
+        flight = self.snd_nxt - self.snd_una - self._lost_bytes - self._sacked_bytes
+        if flight < 0:
+            flight = 0
+        return (flight + mss - 1) // mss < cwnd_segments
 
     def _try_send(self) -> None:
         if self.state in (TCPState.CLOSED, TCPState.SYN_SENT, TCPState.SYN_RCVD):
             return
         if self.state in (TCPState.TIME_WAIT, TCPState.LAST_ACK) and self._fin_sent:
             return
+        mss = self.mss
+        half_mss = mss // 2
         while True:
-            if not self.cwnd_allows_segment():
+            # cwnd_allows_segment(), inlined: tested before every segment
+            # this loop emits (and once more to terminate it).
+            cwnd = self.cc.cwnd + self._recovery_inflation
+            if self._recover is None and self._dupacks:
+                cwnd += (2 if self._dupacks > 2 else self._dupacks) * mss
+            cwnd_segments = (cwnd + half_mss) // mss
+            if cwnd_segments < 1:
+                cwnd_segments = 1
+            flight = self.snd_nxt - self.snd_una - self._lost_bytes - self._sacked_bytes
+            if flight < 0:
+                flight = 0
+            if (flight + mss - 1) // mss >= cwnd_segments:
                 break
             # Lost segments (post-RTO go-back-N) are resent before new data.
             if self._lost_bytes > 0:
@@ -1043,29 +1119,37 @@ class TCPSocket:
             if window_space <= 0:
                 self._check_persist()
                 break
-            max_bytes = min(self.mss, window_space)
+            max_bytes = mss if mss < window_space else window_space
             pulled = self._pull_new_data(max_bytes)
             if pulled is None:
                 break
-            payload, sticky_options, fin = pulled
+            payload, payload_len, sticky_options, fin = pulled
             if fin and self._fin_sent:
                 fin = False
-            if not payload and not fin:
+            if not payload_len and not fin:
                 break
-            self._send_data_segment(payload, sticky_options, fin)
+            self._send_data_segment(payload, payload_len, sticky_options, fin)
             if fin:
                 break
 
-    def _send_data_segment(self, payload: Buffer, sticky_options: list[TCPOption], fin: bool) -> None:
+    def _send_data_segment(
+        self, payload: Buffer, payload_len: int, sticky_options: list[TCPOption], fin: bool
+    ) -> None:
         start = self.snd_nxt
-        end = start + len(payload) + (1 if fin else 0)
-        flags = ACK | (FIN if fin else 0) | (PSH if payload else 0)
-        options = list(sticky_options) + self._segment_options(len(payload))
+        end = start + payload_len + (1 if fin else 0)
+        flags = ACK | (FIN if fin else 0) | (PSH if payload_len else 0)
+        options = list(sticky_options) + self._segment_options(payload_len)
         segment = self._make_segment(
-            flags=flags, seq_unit=start, payload=payload, options=options
+            flags=flags,
+            seq_unit=start,
+            payload=payload,
+            options=options,
+            payload_len=payload_len,
         )
         self.snd_nxt = end
-        self._max_recent_flight = max(self._max_recent_flight, end - self.snd_una)
+        flight_now = end - self.snd_una
+        if flight_now > self._max_recent_flight:
+            self._max_recent_flight = flight_now
         sent = SentSegment(
             start, end, payload, sticky_options, self.sim.now, fin=fin
         )
@@ -1077,8 +1161,8 @@ class TCPSocket:
             self._timing_unit = end
             self._timing_start = self.sim.now
             self._timing_retransmitted = False
-        self.stats.bytes_sent += len(payload)
-        self._transmit(segment)
+        self.stats.bytes_sent += payload_len
+        self.host.send(segment)
         if not self._rto_timer.running:
             self._rto_timer.start(self.rtt.rto)
         self._ack_pending = 0
@@ -1091,17 +1175,24 @@ class TCPSocket:
         payload: Buffer = b"",
         options: Optional[list[TCPOption]] = None,
         with_ack: bool = True,
+        payload_len: Optional[int] = None,
     ) -> Segment:
         assert self.local is not None and self.remote is not None
         options = list(options) if options else []
-        if self.ts_enabled and not any(isinstance(o, TimestampsOption) for o in options):
-            options.insert(0, TimestampsOption(tsval=self._tsval(), tsecr=self._ts_recent))
+        if self.ts_enabled:
+            for option in options:
+                if type(option) is TimestampsOption:
+                    break
+            else:
+                options.insert(0, self._ts_option())
         window_bytes = self._window_to_advertise()
         if flags & SYN:
-            field = min(0xFFFF, window_bytes)
+            field = 0xFFFF if window_bytes > 0xFFFF else window_bytes
             actual = field
         else:
-            field = min(0xFFFF, window_bytes >> self.rcv_wscale)
+            field = window_bytes >> self.rcv_wscale
+            if field > 0xFFFF:
+                field = 0xFFFF
             actual = field << self.rcv_wscale
         if with_ack and (flags & (ACK | RST)):
             new_edge = self.rcv_nxt + actual
@@ -1110,7 +1201,9 @@ class TCPSocket:
             self._last_advertised_window = actual
         ack_field = self._wire_rcv_seq(self.rcv_nxt) if flags & ACK else 0
         self.stats.segments_sent += 1
-        return Segment(
+        # Pooled constructor: pure-ACK shells recycled by the receiving
+        # host come back through here without allocating.
+        return Segment.acquire(
             src=self.local,
             dst=self.remote,
             seq=self._wire_seq(seq_unit),
@@ -1119,10 +1212,8 @@ class TCPSocket:
             window=field,
             options=options,
             payload=payload,
+            payload_len=payload_len,
         )
-
-    def _transmit(self, segment: Segment) -> None:
-        self.host.send(segment)
 
     # ==================================================================
     # Timers
@@ -1192,7 +1283,7 @@ class TCPSocket:
         next_stream = self.snd_nxt - 1
         if self.snd_buf.tail > next_stream:
             payload = self.snd_buf.peek(next_stream, 1)
-            self._send_data_segment(payload, [], False)
+            self._send_data_segment(payload, 1, [], False)
         else:
             self._send_ack(force=True)
         self._check_persist()
@@ -1246,17 +1337,40 @@ class TCPSocket:
         return (self.irs + unit) % SEQ_MOD
 
     def _unit_from_seq(self, seq32: int) -> int:
-        return self.rcv_nxt + seq_diff(seq32, (self.irs + self.rcv_nxt) % SEQ_MOD)
+        # seq_diff(), inlined: runs for every arriving segment
+        rcv_nxt = self.rcv_nxt
+        diff = (seq32 - self.irs - rcv_nxt) % SEQ_MOD
+        if diff >= _SEQ_HALF:
+            diff -= SEQ_MOD
+        return rcv_nxt + diff
 
     def _unit_from_ack(self, ack32: int) -> int:
-        return self.snd_una + seq_diff(ack32, (self.iss + self.snd_una) % SEQ_MOD)
+        # seq_diff(), inlined: runs for every arriving ACK
+        snd_una = self.snd_una
+        diff = (ack32 - self.iss - snd_una) % SEQ_MOD
+        if diff >= _SEQ_HALF:
+            diff -= SEQ_MOD
+        return snd_una + diff
 
     def _scaled_window(self, segment: Segment) -> int:
-        shift = 0 if segment.syn else self.snd_wscale
+        shift = 0 if segment.flags & SYN else self.snd_wscale
         return segment.window << shift
 
     def _tsval(self) -> int:
         return int(self.sim.now * 1_000_000) & 0xFFFFFFFF
+
+    def _ts_option(self) -> TimestampsOption:
+        tsval = int(self.sim.now * 1_000_000) & 0xFFFFFFFF
+        cached = self._ts_option_cache
+        if (
+            cached is not None
+            and cached.tsval == tsval
+            and cached.tsecr == self._ts_recent
+        ):
+            return cached
+        option = TimestampsOption(tsval=tsval, tsecr=self._ts_recent)
+        self._ts_option_cache = option
+        return option
 
     @staticmethod
     def _ts_decode(tsval: int) -> float:

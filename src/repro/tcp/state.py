@@ -18,19 +18,13 @@ class TCPState(enum.Enum):
     CLOSE_WAIT = "CLOSE_WAIT"
     LAST_ACK = "LAST_ACK"
 
-    @property
-    def synchronized(self) -> bool:
-        """States past the three-way handshake."""
-        return self in _SYNCHRONIZED
-
-    @property
-    def can_receive_data(self) -> bool:
-        return self in _RECEIVING
-
-    @property
-    def may_send_data(self) -> bool:
-        """States in which the local application may still submit data."""
-        return self in (TCPState.ESTABLISHED, TCPState.CLOSE_WAIT)
+    # Non-member attributes (bare annotations are not enum members): the
+    # derived flags are stamped onto each member once, below, so the
+    # per-segment hot path reads a plain attribute instead of hashing
+    # enum members into a frozenset behind a property call.
+    synchronized: bool  #: past the three-way handshake
+    can_receive_data: bool
+    may_send_data: bool  #: the local application may still submit data
 
 
 _SYNCHRONIZED = frozenset(
@@ -48,3 +42,9 @@ _SYNCHRONIZED = frozenset(
 _RECEIVING = frozenset(
     {TCPState.ESTABLISHED, TCPState.FIN_WAIT_1, TCPState.FIN_WAIT_2}
 )
+
+for _state in TCPState:
+    _state.synchronized = _state in _SYNCHRONIZED
+    _state.can_receive_data = _state in _RECEIVING
+    _state.may_send_data = _state in (TCPState.ESTABLISHED, TCPState.CLOSE_WAIT)
+del _state

@@ -24,7 +24,11 @@ from repro.tcp.buffer import ByteStream, ReassemblyQueue
 
 
 def brute_force_pending(sim: Simulator) -> int:
-    return sum(1 for e in sim._queue if not e.cancelled)
+    # Heap entries are (time, seq, event) or (time, seq, fn, a0, a1)
+    # post tuples; only Event entries can be cancelled.  Armed timers
+    # live on the wheel, not the heap.
+    live = sum(1 for e in sim._queue if len(e) != 3 or not e[2].cancelled)
+    return live + len(sim._wheel)
 
 
 class TestPendingCounter:

@@ -71,7 +71,7 @@ class TestAllocation:
         scheduler._queue_reinjection(conn.data_una, conn.data_una + 1448)
         pulled = scheduler.allocate(conn.subflows[0], 1448)
         assert pulled is not None
-        payload, options = pulled
+        payload, length, options = pulled
         mapping = scheduler.inflight[-1]
         assert mapping.reinjection
         assert mapping.start == conn.data_una
