@@ -1,0 +1,133 @@
+"""Sharded-simulation speedup benchmark — 1000 connections, 4 shards.
+
+Runs the ring-of-shards scenario (``repro.experiments.shard_bench``)
+twice: a serial baseline and a 4-shard federated run (one forked worker
+process per shard).  Every run's collected per-connection byte counts
+are asserted identical between the two modes — the speedup is only
+meaningful if the sharded run computes the same thing.
+
+Appends a machine-readable record to ``BENCH_shard.json`` at the repo
+root: wall-clock for both modes, event counts, the speedup ratio, and
+the CPU count it was measured on.  The ``>= 2.5x`` floor asserts only
+on machines with at least 4 cores (a 4-shard federation cannot beat
+serial on fewer); ``REPRO_SHARD_SPEEDUP_FLOOR`` overrides the floor
+(``0`` disables it anywhere).
+"""
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+from repro.experiments.shard_bench import (
+    BENCH_CLUSTERS,
+    BENCH_CROSS_CONNS,
+    BENCH_HORIZON_S,
+    BENCH_LOCAL_CONNS,
+    BENCH_PAYLOAD_BYTES,
+    build_bench,
+    collect_tallies,
+)
+from repro.sim.federation import Federation
+
+from conftest import run_median_of_3
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_shard.json"
+
+SHARDS = 4
+CONNECTIONS = BENCH_CLUSTERS * (BENCH_LOCAL_CONNS + BENCH_CROSS_CONNS)
+DEFAULT_FLOOR = 2.5
+
+
+def _speedup_floor() -> float:
+    raw = os.environ.get("REPRO_SHARD_SPEEDUP_FLOOR", "").strip()
+    if raw:
+        return float(raw)
+    # A 4-way federation cannot outrun serial without at least 4 cores;
+    # on smaller machines the record is still appended, just not gated.
+    if (os.cpu_count() or 1) >= 4:
+        return DEFAULT_FLOOR
+    return 0.0
+
+
+def _one_comparison():
+    serial = Federation(build_bench, shards=1, collect=collect_tallies).run(
+        until=BENCH_HORIZON_S
+    )
+    sharded = Federation(build_bench, shards=SHARDS, collect=collect_tallies).run(
+        until=BENCH_HORIZON_S
+    )
+    serial_rows = sorted(sum(serial.shard_values, []))
+    sharded_rows = sorted(sum(sharded.shard_values, []))
+    # Correctness before speed, on every measured run.
+    assert sharded_rows == serial_rows
+    assert len(serial_rows) == CONNECTIONS
+    assert all(row[3] == BENCH_PAYLOAD_BYTES for row in serial_rows)
+    return {
+        "connections": CONNECTIONS,
+        "shards": SHARDS,
+        "mode": sharded.mode,
+        "serial_wall_s": serial.wall_seconds,
+        "sharded_wall_s": sharded.wall_seconds,
+        "serial_events": serial.events,
+        "sharded_events": sharded.events,
+        "windows": sharded.windows,
+        "speedup": serial.wall_seconds / sharded.wall_seconds
+        if sharded.wall_seconds > 0
+        else 0.0,
+    }
+
+
+def test_shard_speedup(benchmark):
+    record = run_median_of_3(benchmark, _one_comparison, "speedup")
+    record["cpu_count"] = os.cpu_count() or 1
+    record["label"] = os.environ.get("REPRO_BENCH_LABEL", "current")
+    record["python"] = platform.python_version()
+    record["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+    print()
+    print(
+        f"ring-of-shards: {record['connections']} connections over "
+        f"{record['shards']} shards ({record['mode']}), "
+        f"{record['windows']} windows"
+    )
+    print(
+        f"  serial  {record['serial_wall_s']:.2f}s "
+        f"({record['serial_events']:,} events)"
+    )
+    print(
+        f"  sharded {record['sharded_wall_s']:.2f}s "
+        f"({record['sharded_events']:,} events)"
+    )
+    print(
+        f"  speedup {record['speedup']:.2f}x on {record['cpu_count']} CPU(s) "
+        f"(median of {record['runs_measured']}: "
+        f"{[round(s, 2) for s in record['speedup_spread']]})"
+    )
+
+    history = []
+    if BENCH_JSON.exists():
+        try:
+            history = json.loads(BENCH_JSON.read_text())
+        except (ValueError, OSError):
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    history.append(record)
+    BENCH_JSON.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"  appended to {BENCH_JSON.name} ({len(history)} record(s))")
+
+    assert record["mode"] == "processes"
+    assert record["serial_events"] > 50_000
+    floor = _speedup_floor()
+    if floor > 0:
+        assert record["speedup"] >= floor, (
+            f"sharded speedup {record['speedup']:.2f}x below the "
+            f"{floor:.1f}x floor on {record['cpu_count']} CPUs"
+        )
+    else:
+        print(
+            f"  (speedup floor skipped: {record['cpu_count']} CPU(s) < 4 "
+            "and no REPRO_SHARD_SPEEDUP_FLOOR override)"
+        )

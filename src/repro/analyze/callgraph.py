@@ -49,7 +49,9 @@ from repro.analyze.core import FileContext
 
 SCHEDULE_ATTRS = frozenset({"schedule", "schedule_at", "call_soon"})
 ENGINE_PATH_SUFFIX = "repro/sim/engine.py"
-WORKER_ENTRY_NAMES = frozenset({"_execute_point"})
+# Process entry points for worker-reachability analysis: the sweep
+# runner's point executor and the shard federation's per-shard worker.
+WORKER_ENTRY_NAMES = frozenset({"_execute_point", "_federation_worker_main"})
 
 
 @dataclass

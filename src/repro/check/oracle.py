@@ -53,6 +53,7 @@ import hashlib
 from typing import TYPE_CHECKING, Optional
 
 from repro.mptcp.connection import MPTCPConnection
+from repro.sim.engine import warn_pooling_disabled
 from repro.mptcp.subflow import Subflow
 from repro.net.trace import PacketTrace
 from repro.tcp.cc import NewReno
@@ -173,6 +174,10 @@ class InvariantOracle:
         oracle = cls(network, tail=tail)
         if network.sim.post_event is not None:
             raise RuntimeError("simulator already has a post_event hook")
+        # The hook keeps every executed event alive, so the engine's
+        # Event pool stops recycling while the oracle is attached.  Say
+        # so once instead of silently changing the allocation profile.
+        warn_pooling_disabled("the invariant oracle attached a post_event hook")
         network.sim.post_event = oracle._post_event
         network._oracle = oracle
         oracle._tap_new_paths()

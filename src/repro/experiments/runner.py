@@ -23,6 +23,10 @@ Environment knobs (CLI users; the API takes explicit arguments too):
   one per CPU.
 * ``REPRO_CACHE=0`` — disable the result cache entirely.
 * ``REPRO_CACHE_DIR`` — cache location (default ``~/.cache/repro-mptcp``).
+* ``REPRO_SHARDS`` — shard count for every Network a point builds (the
+  transparent in-process sharded mode).  Part of the cache key: serial
+  and sharded runs of the same point are distinct entries, so a row
+  mismatch between them can never be masked by a cache hit.
 """
 
 from __future__ import annotations
@@ -37,6 +41,7 @@ from pathlib import Path
 from typing import Any, Callable, Optional, Sequence
 
 from repro.sim.engine import events_run_total
+from repro.sim.shard import shard_count_from_env
 
 DEFAULT_CACHE_DIR = "~/.cache/repro-mptcp"
 _CACHE_VERSION = 1  # bump to orphan every existing entry
@@ -177,6 +182,11 @@ def point_key(sweep_name: str, point: Point, fingerprint: str) -> str:
         sweep_name,
         f"{point.fn.__module__}.{point.fn.__qualname__}",
         _canonical_kwargs(point.kwargs),
+        # Execution mode is part of a point's identity: a sharded run
+        # (REPRO_SHARDS) must never be served a serial run's cached
+        # rows, or a conformance diff would silently compare a cache
+        # entry against itself.
+        f"shards={shard_count_from_env(default=1)}",
         fingerprint,
     ):
         digest.update(part.encode())
@@ -381,3 +391,63 @@ def run_parallel(
 
     perf.wall_clock_s = time.perf_counter() - started  # analyze: ok(DET02): wall-clock perf metering only
     return SweepOutcome(values=values, perf=perf)
+
+
+# ----------------------------------------------------------------------
+# Federated (process-per-shard) execution
+# ----------------------------------------------------------------------
+def _resolve_spec(spec: Any) -> Callable[..., Any]:
+    """Resolve a ``"module:qualname"`` string to the object it names.
+
+    Callables pass through.  Sweep points that parameterise a federated
+    run use the string form so their kwargs keep a deterministic repr
+    (a function object's repr embeds a memory address, which would make
+    the cache key differ on every run).
+    """
+    if callable(spec):
+        return spec
+    module_name, _, qualname = str(spec).partition(":")
+    if not module_name or not qualname:
+        raise ValueError(f"expected 'module:qualname' spec, got {spec!r}")
+    import importlib
+
+    target: Any = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        target = getattr(target, part)
+    return target
+
+
+def run_federated(
+    build: Any,
+    until: float,
+    collect: Any = None,
+    shards: Optional[int] = None,
+    seed: int = 1,
+    serial: bool = False,
+) -> dict:
+    """Sweep-engine entry for a process-per-shard federated scenario.
+
+    ``build`` / ``collect`` are callables or ``"module:qualname"``
+    strings (use strings when this function is itself a sweep
+    :class:`Point`, so the kwargs stay cache-keyable and picklable).
+    Returns a plain dict — collected values in shard order plus run
+    metadata — which is what lands in the sweep's rows.
+    """
+    from repro.sim.federation import Federation
+
+    federation = Federation(
+        _resolve_spec(build),
+        shards=shards,
+        seed=seed,
+        collect=None if collect is None else _resolve_spec(collect),
+        serial=serial,
+    )
+    outcome = federation.run(until=until)
+    return {
+        "values": outcome.shard_values,
+        "mode": outcome.mode,
+        "shards": outcome.shards,
+        "events": outcome.events,
+        "windows": outcome.windows,
+        "wall_seconds": outcome.wall_seconds,
+    }

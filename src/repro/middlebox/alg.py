@@ -36,6 +36,8 @@ class PayloadModifier(PathElement):
     # The invariant oracle tolerates end-to-end stream differences for
     # endpoints that cannot detect an in-path payload rewrite.
     rewrites_payload = True
+    # Synchronous per-segment rewrite, no timers or clock reads.
+    shard_safe = True
 
     def __init__(
         self,
@@ -131,6 +133,9 @@ class RetransmissionNormalizer(PathElement):
     bytes) — content comparison and re-assertion are read-only, so the
     normalizer never materializes anything.
     """
+
+    # Synchronous per-segment transform, no timers or clock reads.
+    shard_safe = True
 
     def __init__(self, cache_limit: int = 4 * 1024 * 1024, name: str = "Normalizer"):
         super().__init__(name)

@@ -18,6 +18,9 @@ from repro.net.path import FORWARD, PathElement
 
 class NAT(PathElement):
     rewrites_addresses = True
+    # Pure synchronous rewriter: no timers, no clock reads, never
+    # changes a segment's direction — legal on a cross-shard path.
+    shard_safe = True
 
     def __init__(self, external_ip: str, base_port: int = 20000, name: str = "NAT"):
         super().__init__(name)

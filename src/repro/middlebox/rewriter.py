@@ -23,6 +23,9 @@ from repro.sim.rng import SeededRNG
 
 
 class SequenceRewriter(PathElement):
+    # Synchronous per-segment rewrite, no timers or clock reads.
+    shard_safe = True
+
     def __init__(
         self,
         rng: SeededRNG | None = None,

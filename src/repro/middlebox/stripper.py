@@ -42,6 +42,10 @@ class OptionStripper(PathElement):
         # A route change mid-connection can move the flow onto a
         # stripping path: options pass until this (simulated) time.
         self.active_after = active_after
+        # Synchronous same-direction transform — but an activation time
+        # means reading self.sim.now, which is the wrong clock on a cut
+        # path's reverse direction, so only the always-on form is safe.
+        self.shard_safe = active_after == 0.0
         self.stripped = 0
 
     def process(self, segment: Segment, direction: int) -> list[tuple[Segment, int]]:

@@ -10,6 +10,7 @@ data-sequence mapping machinery) has to cope.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Iterable, Optional, Type, TypeVar
 
@@ -326,6 +327,44 @@ class Segment:
             created_at=self.created_at,
         )
 
+    # ------------------------------------------------------------------
+    # Wire format (cross-shard process boundary)
+    # ------------------------------------------------------------------
+    def to_wire(self) -> bytes:
+        """Serialise to the inter-shard wire format.
+
+        A segment crossing a shard boundary is flattened to real bytes —
+        fixed header, dotted-quad endpoints, the *encoded* option blob
+        and the payload — and rebuilt on the far side with
+        :func:`segment_from_wire`.  Options round-trip through the same
+        codec middleboxes use, so a sharded run exercises exactly the
+        byte constraints a serial run does.
+        """
+        from repro.net.options import encode_options
+
+        blob = encode_options(self._options)
+        payload = self._payload
+        if type(payload) is not bytes:
+            payload = bytes(payload)
+        src = self.src
+        dst = self.dst
+        src_ip = src.ip.encode("ascii")
+        dst_ip = dst.ip.encode("ascii")
+        header = _WIRE_HEADER.pack(
+            self.seq,
+            self.ack,
+            self.window,
+            self.flags,
+            len(src_ip),
+            len(dst_ip),
+            src.port,
+            dst.port,
+            self.created_at,
+            len(blob),
+            len(payload),
+        )
+        return b"".join((header, src_ip, dst_ip, blob, payload))
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         opts = ",".join(type(option).__name__ for option in self.options)
         return (
@@ -333,3 +372,74 @@ class Segment:
             f"seq={self.seq} ack={self.ack} len={len(self.payload)} win={self.window}"
             f"{' opts=' + opts if opts else ''}>"
         )
+
+
+# Fixed wire header: seq, ack, window, flags, src-ip len, dst-ip len,
+# src port, dst port, created_at, option-blob len, payload len.
+# Big-endian, no padding; the two IP strings, the encoded option blob
+# and the payload follow in that order.
+_WIRE_HEADER = struct.Struct(">IIIBBBIIdHI")
+
+# decode_options() resolves option kinds through a registry that the
+# MPTCP module populates on import.  A forked shard worker always has it
+# imported (the topology was built first), but a cold deserialiser —
+# unit tests, tools — may not, and kind 30 would silently downgrade to
+# UnknownOption.  Latched import, checked per call.
+_WIRE_DECODERS_READY = False
+
+
+def segment_from_wire(data: bytes) -> Segment:
+    """Rebuild a :class:`Segment` from :meth:`Segment.to_wire` bytes.
+
+    The payload comes back as plain ``bytes`` (a zero-copy view does not
+    survive a process boundary); options are decoded through the
+    registered option codecs.  Raises ``ValueError`` on truncation.
+    """
+    global _WIRE_DECODERS_READY
+    if not _WIRE_DECODERS_READY:
+        import repro.mptcp.options  # noqa: F401  (registers the kind-30 decoder)
+
+        _WIRE_DECODERS_READY = True  # analyze: ok(MUT01): once-per-process import latch
+    from repro.net.options import decode_options
+
+    try:
+        (
+            seq,
+            ack,
+            window,
+            flags,
+            src_ip_len,
+            dst_ip_len,
+            src_port,
+            dst_port,
+            created_at,
+            blob_len,
+            payload_len,
+        ) = _WIRE_HEADER.unpack_from(data)
+    except struct.error as error:
+        raise ValueError(f"truncated segment header: {error}") from error
+    offset = _WIRE_HEADER.size
+    end = offset + src_ip_len + dst_ip_len + blob_len + payload_len
+    if end != len(data):
+        raise ValueError(
+            f"segment length mismatch: header implies {end} bytes, got {len(data)}"
+        )
+    src_ip = data[offset : offset + src_ip_len].decode("ascii")
+    offset += src_ip_len
+    dst_ip = data[offset : offset + dst_ip_len].decode("ascii")
+    offset += dst_ip_len
+    options = decode_options(data[offset : offset + blob_len])
+    offset += blob_len
+    payload = data[offset:end]
+    return Segment(
+        src=Endpoint(src_ip, src_port),
+        dst=Endpoint(dst_ip, dst_port),
+        seq=seq,
+        ack=ack,
+        flags=flags,
+        window=window,
+        options=options,
+        payload=payload,
+        created_at=created_at,
+        payload_len=payload_len,
+    )

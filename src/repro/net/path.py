@@ -35,6 +35,12 @@ class PathElement:
     # Subclasses that rewrite IP addresses (NATs) set this so the
     # topology builder installs wildcard routes for the rewritten side.
     rewrites_addresses = False
+    # True for elements that are pure synchronous same-direction
+    # transforms: no timers, no self.sim reads, no opposite-direction
+    # injection.  Only such elements may sit on a cross-shard path,
+    # where the two directions execute under different shard clocks
+    # (see Network.connect).  Conservative default: unsafe.
+    shard_safe = False
 
     def __init__(self, name: str = ""):
         self.name = name or type(self).__name__

@@ -46,6 +46,8 @@ from __future__ import annotations
 import gc
 import heapq
 import sys
+import warnings
+from math import inf
 from typing import Any, Callable, Optional
 
 from repro.sim.wheel import TimerWheel
@@ -76,6 +78,32 @@ _RECYCLE_REFS = 3
 # Retention contract: the free list never holds more than this many
 # Event shells, so a burst of scheduling cannot pin memory afterwards.
 _POOL_MAX = 256
+
+# One-time latch for warn_pooling_disabled(): the hint is useful exactly
+# once per process, after which it is noise.
+_POOLING_DISABLED_WARNED = False
+
+
+def warn_pooling_disabled(reason: str) -> None:
+    """Warn (once per process) that Event recycling is bypassed.
+
+    Attaching a ``post_event`` hook — the invariant oracle is the one
+    shipping client — keeps every executed event alive for the hook, so
+    the pool can never prove exclusive ownership and recycling stops.
+    That is correct but easy to miss in a benchmark; this makes it loud.
+    """
+    global _POOLING_DISABLED_WARNED
+    if _POOLING_DISABLED_WARNED:
+        return
+    _POOLING_DISABLED_WARNED = True  # analyze: ok(MUT01): once-per-process warning latch; a forked worker's copy is fine
+    warnings.warn(
+        f"Event recycling disabled: {reason}. Executed events are handed "
+        "to the post_event hook instead of the pool, so hot-path "
+        "allocation rates rise while the hook stays attached "
+        "(Simulator.pooling_active is now False).",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 class Event:
@@ -242,10 +270,24 @@ class Simulator:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        exclusive: bool = False,
+    ) -> int:
         """Run events until the queue drains, ``until`` is reached, or
-        ``max_events`` events have executed."""
+        ``max_events`` events have executed.  Returns the number of
+        events executed.
+
+        ``exclusive=True`` makes ``until`` a strict bound: events *at*
+        ``until`` stay queued (the sharded drivers use this to execute a
+        half-open time window ``[now, until)`` and leave the boundary
+        instant for a later, globally ordered pass).
+        """
         global _EVENTS_RUN_TOTAL
+        if exclusive and until is None:
+            raise ValueError("exclusive run requires an explicit until bound")
         self._running = True
         executed = 0
         queue = self._queue
@@ -292,7 +334,9 @@ class Simulator:
                         if until is not None:
                             self.now = until
                         break
-                    if until is not None and timer._time > until:
+                    if until is not None and (
+                        timer._time > until or (exclusive and timer._time == until)
+                    ):
                         self.now = until
                         break
                     wheel.remove(timer)
@@ -301,7 +345,9 @@ class Simulator:
                     if self.post_event is not None:
                         self.post_event(timer)
                 else:
-                    if until is not None and entry[0] > until:
+                    if until is not None and (
+                        entry[0] > until or (exclusive and entry[0] == until)
+                    ):
                         self.now = until
                         break
                     pop(queue)
@@ -355,7 +401,30 @@ class Simulator:
             # events and report them through _execute_point's return
             # value, so a worker-side copy is the intended behaviour.
             _EVENTS_RUN_TOTAL += executed  # analyze: ok(MUT01): per-process counter, returned by workers
+        return executed
 
+    def next_event_time(self) -> float:
+        """Time of the earliest runnable event (heap or wheel), or
+        ``math.inf`` when nothing is queued.  Pops cancelled corpses off
+        the heap head so the answer is exact; does not advance the clock.
+        The sharded drivers poll this to compute safe execution windows.
+        """
+        queue = self._queue
+        head = inf
+        while queue:
+            entry = queue[0]
+            if len(entry) == 3 and entry[2].cancelled:
+                heapq.heappop(queue)
+                continue
+            head = entry[0]
+            break
+        wheel = self._wheel
+        timer = wheel._min
+        if timer is None and wheel._count:
+            timer = wheel.find_min(self.now)
+        if timer is not None and timer._time < head:
+            return timer._time
+        return head
 
     def step(self) -> bool:
         """Run a single event.  Returns False when the queue is empty."""
@@ -426,6 +495,17 @@ class Simulator:
     def pending(self) -> int:
         """Number of queued, non-cancelled events (timers included).  O(1)."""
         return self._live + self._wheel._count
+
+    @property
+    def pooling_active(self) -> bool:
+        """True when executed events are eligible for pool recycling.
+
+        False while a ``post_event`` hook (the invariant oracle) is
+        attached, or on runtimes without ``sys.getrefcount``.
+        Benchmarks assert this so a stray hook cannot silently turn a
+        flyweight measurement into an allocation benchmark.
+        """
+        return self.post_event is None and _getrefcount is not None
 
     @property
     def events_run(self) -> int:

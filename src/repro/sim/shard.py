@@ -1,0 +1,457 @@
+"""Conservative parallel discrete-event sharding.
+
+A sharded run partitions a topology into *shards* — an endpoint cluster
+plus its local links — each owning a private :class:`Simulator`.  Links
+whose ends live on different shards are *cut links*: their propagation
+delay is the **lookahead** that makes conservative synchronisation
+possible.  An event executing at time ``t`` on one shard can affect a
+neighbour no earlier than ``t + delay``, so every shard may safely run
+ahead of its neighbours by the smallest cut-link delay.
+
+Two drivers share the machinery here:
+
+* :meth:`ShardGroup.run_merged` — the in-process driver behind a
+  transparent ``Network(shards=N)`` (or ``REPRO_SHARDS=N``).  It always
+  executes the globally earliest shard and bounds it by
+  ``min(other shards' next event, own next + lookahead)``, so events
+  still execute in global time order.  Cross-shard probes (goodput
+  meters, memory samplers) observe exactly the state a serial run would
+  — this is the mode the fig3–fig11 conformance bar runs under.  Cut
+  deliveries round-trip through the :meth:`Segment.to_wire` codec, so
+  the serialisation path is exercised even without processes.
+* :meth:`ShardGroup.run_windowed` / :meth:`ShardGroup.run_worker_window`
+  — the time-window barrier protocol used by
+  :class:`repro.sim.federation.Federation`.  All shards execute the same
+  half-open window ``[M, M + L)`` (``M`` = global minimum next-event
+  time, ``L`` = global minimum cut delay), captured boundary messages
+  are exchanged at the barrier sorted by ``(arrival, source shard,
+  message seq)``, and the final window at the horizon runs inclusively
+  (messages born there arrive strictly later, so nothing is lost).
+  ``run_windowed`` runs the protocol inline — it is the serial fallback
+  and the reference the process mode is tested against;
+  ``run_worker_window`` executes one shard's side of one window inside a
+  forked worker.
+
+Determinism contract: with a fixed seed, shard count and shard
+assignment, both drivers are reproducible.  Within a shard, events order
+by ``(time, seq)`` exactly as in a serial simulator; across shards,
+simultaneous events order by ``(time, shard id, per-shard seq)`` —
+boundary messages carry their origin ``(shard, seq)`` so every shard
+inserts concurrent arrivals identically.  Cut links must have strictly
+positive delay (zero lookahead would deadlock the window protocol);
+:class:`ShardingError` reports violations at build time, not mid-run.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+from math import inf
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.packet import Segment
+
+
+class ShardingError(RuntimeError):
+    """A topology or run request that the sharding layer cannot honour."""
+
+
+def shard_count_from_env(default: int = 1) -> int:
+    """Resolve the ``REPRO_SHARDS`` environment knob (min 1)."""
+    raw = os.environ.get("REPRO_SHARDS", "")
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ShardingError(f"REPRO_SHARDS must be an integer, got {raw!r}") from None
+    return max(1, value)
+
+
+class ShardBoundary:
+    """One direction of a cut link: forwards segments to the peer shard.
+
+    Installed as :attr:`Link.remote`.  Where the segment goes depends on
+    the driver: merged mode posts it straight onto the target shard's
+    queue (after a wire round-trip); windowed/worker mode appends it to
+    the current capture buffer for exchange at the next barrier.
+    """
+
+    __slots__ = ("group", "index", "source", "target", "deliver", "delay", "name")
+
+    def __init__(
+        self,
+        group: "ShardGroup",
+        index: int,
+        source: int,
+        target: int,
+        deliver: Callable[["Segment"], None],
+        delay: float,
+        name: str,
+    ):
+        self.group = group
+        self.index = index
+        self.source = source
+        self.target = target
+        self.deliver = deliver
+        self.delay = delay
+        self.name = name
+
+    def __call__(self, arrival: float, segment: "Segment") -> None:
+        group = self.group
+        capture = group._capture
+        wire = segment.to_wire()
+        if capture is not None:
+            counters = group._msg_seq
+            ordinal = counters[self.source]
+            counters[self.source] = ordinal + 1
+            capture.append((arrival, self.source, ordinal, self.index, wire))
+        else:
+            from repro.net.packet import segment_from_wire
+
+            group.sims[self.target].post_at(arrival, self.deliver, segment_from_wire(wire))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<ShardBoundary {self.name} {self.source}->{self.target} +{self.delay}s>"
+
+
+# A captured boundary message: (arrival time, source shard, per-shard
+# message seq, boundary index, wire bytes).  Tuple-sorted, the first
+# three fields are exactly the cross-shard tie-break contract.
+Message = tuple[float, int, int, int, bytes]
+
+
+class ShardGroup:
+    """N shard simulators, their cut-link boundaries, and the drivers."""
+
+    def __init__(self, count: int):
+        if count < 1:
+            raise ShardingError(f"shard count must be >= 1, got {count}")
+        self.count = count
+        self.sims = [Simulator() for _ in range(count)]
+        for sim in self.sims:
+            # The drivers pause GC once around a whole run; per-window
+            # collector churn inside Simulator.run would dominate.
+            sim.pause_gc = False
+        self.boundaries: list[ShardBoundary] = []
+        # Per-shard minimum outbound cut delay (merged-mode lookahead)
+        # and the global minimum (windowed-mode lookahead).
+        self._lookahead = [inf] * count
+        self.lookahead = inf
+        # True once a cut path carries middlebox elements: fine for the
+        # in-process drivers (shared memory), a divergence hazard for
+        # forked workers, so the federation falls back to inline mode.
+        self.has_cut_elements = False
+        # Shard currently executing under a driver (-1 when idle); the
+        # clock proxy reads it so ``network.sim.now`` is the running
+        # shard's clock, exactly as in a serial run.
+        self._active = -1
+        # Capture buffer for boundary messages (None = merged mode's
+        # direct delivery).
+        self._capture: Optional[list[Message]] = None
+        self._msg_seq = [0] * count
+        # Set inside a forked federation worker: the one shard this
+        # process executes.
+        self._worker_shard = -1
+        self.pause_gc = True
+        self.windows_run = 0
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def add_cut(
+        self,
+        source: int,
+        target: int,
+        deliver: Callable[["Segment"], None],
+        delay: float,
+        name: str = "link",
+    ) -> ShardBoundary:
+        """Register one direction of a cut link and return its boundary."""
+        if not (0 <= source < self.count and 0 <= target < self.count):
+            raise ShardingError(f"cut {name}: shard out of range ({source}->{target})")
+        if source == target:
+            raise ShardingError(f"cut {name}: both ends on shard {source}")
+        if delay <= 0.0:
+            raise ShardingError(
+                f"cut link {name} has zero propagation delay: a cross-shard "
+                "link needs positive delay to provide lookahead"
+            )
+        boundary = ShardBoundary(self, len(self.boundaries), source, target, deliver, delay, name)
+        self.boundaries.append(boundary)
+        if delay < self._lookahead[source]:
+            self._lookahead[source] = delay
+        if delay < self.lookahead:
+            self.lookahead = delay
+        return boundary
+
+    # ------------------------------------------------------------------
+    # Merged driver (transparent in-process mode)
+    # ------------------------------------------------------------------
+    def run_merged(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> int:
+        """Run all shards in global time order until ``until``.
+
+        Repeatedly picks the shard with the earliest next event
+        (tie-break: lowest shard id) and runs it up to the earliest of
+        any other shard's next event, its own horizon of
+        ``next + lookahead``, and ``until``.  Cut deliveries are posted
+        directly onto the target shard as they are captured; every
+        arrival is strictly later than the sending event, so the target
+        — whose clock can never be ahead of the running shard — accepts
+        it without time travel.  Returns events executed.
+        """
+        sims = self.sims
+        lookahead = self._lookahead
+        executed = 0
+        finished = False
+        paused_gc = self.pause_gc and gc.isenabled()
+        if paused_gc:
+            gc.disable()
+        try:
+            while True:
+                best = -1
+                best_t = inf
+                second_t = inf
+                for index, sim in enumerate(sims):
+                    t = sim.next_event_time()
+                    if t < best_t:
+                        second_t = best_t
+                        best_t = t
+                        best = index
+                    elif t < second_t:
+                        second_t = t
+                if best < 0 or best_t == inf or (until is not None and best_t > until):
+                    finished = True
+                    break
+                bound = second_t
+                cap = best_t + lookahead[best]
+                if cap < bound:
+                    bound = cap
+                if until is not None and until < bound:
+                    bound = until
+                budget = None if max_events is None else max_events - executed
+                sim = sims[best]
+                self._active = best
+                try:
+                    if bound <= best_t:
+                        # The window is exhausted at the shard's own next
+                        # event (a tie with a neighbour or the horizon):
+                        # run exactly the events at that instant.
+                        ran = sim.run(until=best_t, max_events=budget)
+                    else:
+                        ran = sim.run(until=bound, max_events=budget, exclusive=True)
+                finally:
+                    self._active = -1
+                executed += ran
+                if max_events is not None and executed >= max_events:
+                    break
+        finally:
+            if paused_gc:
+                gc.enable()
+                gc.collect()
+        if finished and until is not None:
+            for sim in sims:
+                if sim.now < until:
+                    sim.now = until
+        return executed
+
+    # ------------------------------------------------------------------
+    # Windowed driver (barrier protocol, inline reference)
+    # ------------------------------------------------------------------
+    def run_windowed(self, until: float) -> int:
+        """Run the time-window barrier protocol inline.
+
+        Byte-identical to the forked federation: same windows, same
+        message ordering, same per-shard event sequences.  Used as the
+        serial fallback and as the reference in conformance tests.
+        """
+        if until is None:
+            raise ShardingError("windowed execution needs an explicit horizon")
+        sims = self.sims
+        executed = 0
+        paused_gc = self.pause_gc and gc.isenabled()
+        if paused_gc:
+            gc.disable()
+        try:
+            while True:
+                m = min(sim.next_event_time() for sim in sims)
+                if m > until:
+                    break
+                inclusive = m + self.lookahead > until
+                horizon = until if inclusive else m + self.lookahead
+                outbox: list[Message] = []
+                self._capture = outbox
+                try:
+                    for index, sim in enumerate(sims):
+                        self._active = index
+                        executed += sim.run(until=horizon, exclusive=not inclusive)
+                finally:
+                    self._capture = None
+                    self._active = -1
+                self.windows_run += 1
+                self.inject(outbox)
+                if inclusive:
+                    break
+        finally:
+            if paused_gc:
+                gc.enable()
+                gc.collect()
+        for sim in sims:
+            if sim.now < until:
+                sim.now = until
+        return executed
+
+    def inject(self, messages: list[Message]) -> None:
+        """Deserialise captured messages onto their target shards, in
+        the canonical ``(arrival, source shard, seq)`` order."""
+        if not messages:
+            return
+        from repro.net.packet import segment_from_wire
+
+        boundaries = self.boundaries
+        sims = self.sims
+        messages.sort()
+        for arrival, _source, _seq, index, wire in messages:
+            boundary = boundaries[index]
+            sims[boundary.target].post_at(arrival, boundary.deliver, segment_from_wire(wire))
+
+    # ------------------------------------------------------------------
+    # Worker-side protocol (one shard per forked process)
+    # ------------------------------------------------------------------
+    def enter_worker(self, shard: int) -> None:
+        """Pin this process to one shard and enable message capture."""
+        if not (0 <= shard < self.count):
+            raise ShardingError(f"worker shard {shard} out of range")
+        self._worker_shard = shard
+        self._active = shard
+        self._capture = []
+
+    def run_worker_window(
+        self, horizon: float, inclusive: bool, messages: list[Message]
+    ) -> tuple[float, int, list[Message]]:
+        """Execute one window of the pinned shard.
+
+        Injects the barrier's inbound ``messages``, runs to ``horizon``
+        (inclusively on the final window), and returns
+        ``(next event time, events executed, outbound messages)``.
+        """
+        shard = self._worker_shard
+        if shard < 0:
+            raise ShardingError("run_worker_window outside enter_worker")
+        sim = self.sims[shard]
+        if messages:
+            from repro.net.packet import segment_from_wire
+
+            boundaries = self.boundaries
+            messages.sort()
+            for arrival, _source, _seq, index, wire in messages:
+                boundary = boundaries[index]
+                sim.post_at(arrival, boundary.deliver, segment_from_wire(wire))
+        executed = sim.run(until=horizon, exclusive=not inclusive)
+        capture = self._capture
+        assert capture is not None
+        outbound = capture[:]
+        capture.clear()
+        self.windows_run += 1
+        return sim.next_event_time(), executed, outbound
+
+
+class ShardedClock:
+    """Duck-typed ``Simulator`` stand-in for a sharded ``Network.sim``.
+
+    Reads (``now``, ``pending``) and writes (``schedule``, ``post``,
+    ``post_event``) are routed so that code written against a single
+    simulator — goodput meters, memory samplers, the invariant oracle —
+    works unchanged on a sharded network:
+
+    * ``now`` is the running shard's clock while a driver executes
+      (i.e. the current event's time, exactly as serial), and the
+      maximum shard clock when idle.
+    * scheduling targets the running shard (callbacks rescheduling
+      themselves stay home); from outside a run it targets shard 0 for
+      the merged/windowed drivers, or the pinned shard in a worker.
+    * assigning ``post_event`` broadcasts the hook to every shard.
+    """
+
+    def __init__(self, group: ShardGroup):
+        self._group = group
+
+    # -- clock ---------------------------------------------------------
+    @property
+    def now(self) -> float:
+        group = self._group
+        active = group._active
+        if active >= 0:
+            return group.sims[active].now
+        return max(sim.now for sim in group.sims)
+
+    def _target(self) -> Simulator:
+        group = self._group
+        active = group._active
+        if active >= 0:
+            return group.sims[active]
+        return group.sims[0]
+
+    # -- scheduling ----------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any):
+        return self._target().schedule(delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any):
+        return self._target().schedule_at(time, fn, *args)
+
+    def call_soon(self, fn: Callable[..., Any], *args: Any):
+        return self._target().call_soon(fn, *args)
+
+    def post(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        self._target().post(delay, fn, *args)
+
+    def post_at(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
+        self._target().post_at(time, fn, *args)
+
+    # -- execution -----------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        return self._group.run_merged(until=until, max_events=max_events)
+
+    def next_event_time(self) -> float:
+        return min(sim.next_event_time() for sim in self._group.sims)
+
+    def step(self) -> bool:
+        raise ShardingError("step() is not supported on a sharded network")
+
+    # -- introspection -------------------------------------------------
+    @property
+    def pending(self) -> int:
+        return sum(sim.pending for sim in self._group.sims)
+
+    @property
+    def events_run(self) -> int:
+        return sum(sim.events_run for sim in self._group.sims)
+
+    @property
+    def pooling_active(self) -> bool:
+        return all(sim.pooling_active for sim in self._group.sims)
+
+    @property
+    def post_event(self) -> Optional[Callable[[Any], Any]]:
+        return self._group.sims[0].post_event
+
+    @post_event.setter
+    def post_event(self, hook: Optional[Callable[[Any], Any]]) -> None:
+        for sim in self._group.sims:
+            sim.post_event = hook
+
+    @property
+    def pause_gc(self) -> bool:
+        return self._group.pause_gc
+
+    @pause_gc.setter
+    def pause_gc(self, value: bool) -> None:
+        self._group.pause_gc = value
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<ShardedClock over {self._group.count} shards now={self.now:.6f}>"

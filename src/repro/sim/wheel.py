@@ -215,20 +215,26 @@ class TimerWheel:
     # Internals
     # ------------------------------------------------------------------
     def _place(self, t: "Timer", tick: int) -> None:
-        delta = tick - self._cursor
-        if delta < _SPAN0:
+        # Level eligibility is *slot-aligned*, not a raw delta check: a
+        # level can only address the 256 slot values starting at the
+        # cursor's own slot, so an entry `_SPAN2 - epsilon` ticks ahead
+        # may wrap onto the cursor's slot and be mistaken for the
+        # earliest pending timer.  `(tick >> shift) - (cursor >> shift)
+        # < _SLOTS` is the exact "fits without aliasing" condition.
+        cursor = self._cursor
+        if tick - cursor < _SPAN0:
             level = 0
             idx = tick & _SLOT_MASK
             head = self._slots0[idx]
             self._slots0[idx] = t
             self._mask0 |= 1 << idx
-        elif delta < _SPAN1:
+        elif (tick >> _SLOT_BITS) - (cursor >> _SLOT_BITS) < _SLOTS:
             level = 1
             idx = (tick >> _SLOT_BITS) & _SLOT_MASK
             head = self._slots1[idx]
             self._slots1[idx] = t
             self._mask1 |= 1 << idx
-        elif delta < _SPAN2:
+        elif (tick >> (2 * _SLOT_BITS)) - (cursor >> (2 * _SLOT_BITS)) < _SLOTS:
             level = 2
             idx = (tick >> (2 * _SLOT_BITS)) & _SLOT_MASK
             head = self._slots2[idx]
@@ -297,7 +303,9 @@ class TimerWheel:
                 self._place(entry, entry._wtick)
 
     def _cascade_overflow(self, cursor: int) -> None:
-        limit = cursor + _SPAN2
+        # Aligned limit (see _place): only entries the top level can
+        # address without slot aliasing may leave the overflow list.
+        limit = ((cursor >> (2 * _SLOT_BITS)) + _SLOTS) << (2 * _SLOT_BITS)
         t = self._overflow
         due = None
         while t is not None:

@@ -31,8 +31,8 @@ def _oracle_everywhere(monkeypatch):
         return
     original_init = Network.__init__
 
-    def init_with_oracle(self, seed: int = 1):
-        original_init(self, seed=seed)
+    def init_with_oracle(self, seed: int = 1, shards: int | None = None):
+        original_init(self, seed=seed, shards=shards)
         InvariantOracle.attach(self)
 
     monkeypatch.setattr(Network, "__init__", init_with_oracle)

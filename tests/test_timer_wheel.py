@@ -14,6 +14,11 @@ import random
 import pytest
 
 from repro.sim.engine import Simulator, Timer
+from repro.sim.wheel import _OVERFLOW, _SPAN2, TICKS_PER_SEC
+
+# Deadlines this far out (in seconds) exceed the top wheel level's span
+# and land on the unsorted overflow list.
+OVERFLOW_S = _SPAN2 / TICKS_PER_SEC  # 16384 s with the default geometry
 
 
 class ReferenceScheduler:
@@ -70,7 +75,10 @@ class ReferenceScheduler:
                 return fired
             item = min(live, key=lambda i: (i[0], i[1]))
             item[3] = False
-            self._timers.pop(item[2], None)
+            # Only an armed *timer* unlinks on firing; a plain event
+            # that happens to share a timer's label must not untrack it.
+            if self._timers.get(item[2]) is item:
+                del self._timers[item[2]]
             self.now = item[0]
             fired.append((item[2], self.now))
             for op in reactions.pop(item[2], ()):
@@ -267,3 +275,138 @@ def test_cancel_of_fired_event_does_not_poison_reuse():
     assert fresh.cancelled is False
     sim.run()
     assert hits == ["first", "second"]
+
+
+# ----------------------------------------------------------------------
+# Overflow list (deadlines beyond the top wheel level)
+# ----------------------------------------------------------------------
+
+
+def test_far_future_timer_lands_on_overflow_and_fires():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda: fired.append(("timer", sim.now)))
+    timer.start(OVERFLOW_S + 4000.0)
+    assert timer._wlevel == _OVERFLOW
+    assert sim._wheel._overflow is timer
+    # An event armed later for the same instant must fire after the
+    # timer (arming order), even though the timer sat in overflow.
+    sim.schedule(OVERFLOW_S + 4000.0, lambda: fired.append(("event", sim.now)))
+    sim.run()
+    assert fired == [
+        ("timer", OVERFLOW_S + 4000.0),
+        ("event", OVERFLOW_S + 4000.0),
+    ]
+    assert not timer.running
+
+
+def test_cancel_while_overflowed():
+    sim = Simulator()
+    fired = []
+    near = Timer(sim, lambda: fired.append("near"))
+    doomed = Timer(sim, lambda: fired.append("doomed"))
+    survivor = Timer(sim, lambda: fired.append("survivor"))
+    near.start(1.0)
+    doomed.start(OVERFLOW_S + 1000.0)
+    survivor.start(OVERFLOW_S + 2000.0)
+    assert doomed._wlevel == _OVERFLOW and survivor._wlevel == _OVERFLOW
+    assert len(sim._wheel) == 3
+    doomed.stop()  # unlink from the middle/head of the overflow chain
+    assert not doomed.running
+    assert len(sim._wheel) == 2
+    sim.run()
+    assert fired == ["near", "survivor"]
+    assert sim.now == OVERFLOW_S + 2000.0
+
+
+def test_overflow_cascades_down_as_time_advances():
+    # A far-future timer must migrate off the overflow list once the
+    # cursor gets close enough, and still fire at the exact deadline.
+    sim = Simulator()
+    fired = []
+    deadline = OVERFLOW_S + 5000.0
+    timer = Timer(sim, lambda: fired.append(sim.now))
+    timer.start(deadline)
+    assert timer._wlevel == _OVERFLOW
+    # Intermediate work drags the cursor forward past the point where
+    # (deadline - now) fits in the top wheel level.
+    sim.schedule(6000.0, lambda: None)
+    sim.run(until=7000.0)
+    # earliest() may serve the cached minimum; find_min() recomputes,
+    # which is where the overflow cascade runs.
+    assert sim._wheel.find_min(sim.now) is timer
+    assert timer.running
+    assert timer._wlevel != _OVERFLOW  # relocated onto a wheel level
+    assert sim._wheel._overflow is None
+    sim.run()
+    assert fired == [deadline]
+
+
+def test_restart_across_the_overflow_boundary():
+    # far -> near: the pending overflow entry is dropped and the timer
+    # fires at the new near deadline.
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now))
+    timer.start(OVERFLOW_S + 9000.0)
+    assert timer._wlevel == _OVERFLOW
+    timer.restart(0.5)
+    assert timer._wlevel != _OVERFLOW
+    sim.run()
+    assert fired == [0.5]
+
+    # near -> far: and back out to the overflow list.
+    fired.clear()
+    timer2 = Timer(sim, lambda: fired.append(sim.now))
+    timer2.start(0.25)
+    timer2.restart(OVERFLOW_S + 9000.0)
+    assert timer2._wlevel == _OVERFLOW
+    sim.run()
+    assert fired == [sim.now]
+    assert fired[0] == pytest.approx(0.5 + OVERFLOW_S + 9000.0)
+
+
+def _overflow_script(rng):
+    """Like _random_script but with deadlines straddling the overflow
+    boundary, so cascades off the far-future list happen mid-run."""
+    delays = [
+        0.0,
+        rng.uniform(0.001, 1.0),  # level 0
+        rng.uniform(100.0, 4000.0),  # levels 1-2
+        OVERFLOW_S - rng.uniform(1.0, 50.0),  # just inside the top level
+        OVERFLOW_S + rng.uniform(1.0, 50.0),  # just past the boundary
+        rng.uniform(OVERFLOW_S * 2, OVERFLOW_S * 6),  # deep overflow
+        OVERFLOW_S + 100.0,  # deliberate exact ties in overflow
+        OVERFLOW_S + 100.0,
+    ]
+    initial = []
+    reactions = {}
+    labels = []
+    for i in range(30):
+        label = f"op{i}"
+        labels.append(label)
+        delay = rng.choice(delays)
+        if rng.random() < 0.4:
+            initial.append(("schedule", label, delay))
+        else:
+            initial.append(("start", label, delay))
+    for label in rng.sample(labels, 18):
+        ops = []
+        for _ in range(rng.randint(1, 3)):
+            kind = rng.choice(["start", "restart", "stop", "schedule"])
+            target = rng.choice(labels) + rng.choice(["", "-r1"])
+            if kind == "stop":
+                ops.append(("stop", target))
+            else:
+                ops.append((kind, target, rng.choice(delays)))
+        reactions[label] = ops
+    return initial, reactions
+
+
+@pytest.mark.parametrize("seed", [3, 17, 256, 4096, 65537])
+def test_overflow_matches_reference_scheduler(seed):
+    rng = random.Random(seed)
+    initial, reactions = _overflow_script(rng)
+    real = _run_real(initial, reactions)
+    reference = _run_reference(initial, reactions)
+    assert real == reference
