@@ -32,7 +32,7 @@ Element                      Behaviour modelled
 
 from repro.middlebox.nat import NAT
 from repro.middlebox.rewriter import SequenceRewriter
-from repro.middlebox.stripper import OptionStripper
+from repro.middlebox.stripper import AddAddrFilter, OptionStripper
 from repro.middlebox.segmenter import SegmentCoalescer, SegmentSplitter
 from repro.middlebox.proxy import AckCoercer, HoleBlocker, ProactiveAcker
 from repro.middlebox.alg import PayloadModifier, RetransmissionNormalizer
@@ -43,6 +43,7 @@ __all__ = [
     "Duplicator",
     "NAT",
     "SequenceRewriter",
+    "AddAddrFilter",
     "OptionStripper",
     "SegmentSplitter",
     "SegmentCoalescer",

@@ -63,3 +63,40 @@ class OptionStripper(PathElement):
             segment.options = kept
             self.stripped += removed
         return [(segment, direction)]
+
+
+class AddAddrFilter(PathElement):
+    """Strips ADD_ADDR / REMOVE_ADDR announcements while passing every
+    other MPTCP option.
+
+    The adoption studies a decade after the paper (Aschenbrenner et al.
+    2021; Shreedhar et al. 2022) found this selective behaviour in the
+    wild: stateful firewalls that tolerate MP_CAPABLE/DSS on an
+    established flow but drop address advertisements (an unsolicited
+    claim that traffic will appear from elsewhere looks like an
+    injection attempt).  The connection stays MPTCP but never learns the
+    peer's other addresses — multipath silently degrades to one subflow
+    whenever the *server* is the multihomed side (§3.2: a NATted client
+    cannot be SYNed at, so ADD_ADDR is the only way to use the server's
+    second address)."""
+
+    # Synchronous same-direction option filter: no clock, no injection.
+    shard_safe = True
+
+    def __init__(self, name: str = "AddAddrFilter"):
+        super().__init__(name)
+        self.filtered = 0
+
+    def process(self, segment: Segment, direction: int) -> list[tuple[Segment, int]]:
+        from repro.mptcp.options import AddAddr, RemoveAddr
+
+        kept = [
+            option
+            for option in segment.options
+            if not isinstance(option, (AddAddr, RemoveAddr))
+        ]
+        removed = len(segment.options) - len(kept)
+        if removed:
+            segment.options = kept
+            self.filtered += removed
+        return [(segment, direction)]

@@ -56,6 +56,12 @@ class MPTCPConfig:
     # Protocol
     checksum: bool = True  # DSS checksums (disable in datacenters, §3.3.6)
     syn_retries_drop_mptcp: int = 2  # retry plain TCP after N SYN losses
+    # Supported MPTCP versions, in no particular order; the initiator
+    # offers max(versions) in its MP_CAPABLE and the listener answers
+    # with the highest version both sides share — no common version
+    # means a clean fallback to plain TCP, the deployment failure the
+    # v0-only-server vs v1-only-client split made common in practice.
+    versions: tuple = (0,)
     # Buffers (connection-level pools)
     snd_buf: int = 256 * 1024
     rcv_buf: int = 256 * 1024
@@ -174,6 +180,9 @@ class MPTCPConnection:
         # every assignment and diffs it against the RFC 6824 spec table.
         self.conn_state = MPTCPConnState.M_INIT
         self._dack_option_cache: Optional[DSS] = None
+        # Version agreed during the MP_CAPABLE exchange; None until the
+        # handshake resolves it (or forever, when MPTCP fell back).
+        self.negotiated_version: Optional[int] = None
         self.fallback_reason: Optional[str] = None
         self._fallback_tx_base: Optional[int] = None
         self._mp_fail_pending = False
@@ -462,6 +471,14 @@ class MPTCPConnection:
     def negotiate_checksum(self, peer_requires: bool) -> None:
         """RFC rule: checksums are used if either endpoint demands them."""
         self.checksum_enabled = self.config.checksum or peer_requires
+
+    def version_answer(self, peer_offer: int) -> Optional[int]:
+        """Listener side of version negotiation: the highest supported
+        version at or below the initiator's offer, or None when the two
+        sets share nothing (the listener then answers without
+        MP_CAPABLE and the connection is plain TCP)."""
+        shared = [v for v in self.config.versions if v <= peer_offer]
+        return max(shared) if shared else None
 
     def tx_wire_dsn(self, offset: int) -> int:
         return seq_add(self.local_idsn, 1 + offset)

@@ -127,6 +127,12 @@ class Subflow(TCPSocket):
         # segment still carries one; a stripping middlebox removes them
         # from every segment — this run length tells the two apart.
         self._rx_mapless_data_run = 0
+        # DSS options of any form received (mappings *or* bare
+        # DATA_ACKs) and, for the data-sender side of the symmetric
+        # mid-connection rule, consecutive pure ACKs that carried no
+        # MPTCP option at all after DSS traffic had been flowing.
+        self.rx_dss_received = 0
+        self._rx_optionless_ack_run = 0
 
     # ------------------------------------------------------------------
     # Identity helpers
@@ -150,6 +156,7 @@ class Subflow(TCPSocket):
                 MPCapable(
                     sender_key=conn.local_key,
                     checksum_required=conn.config.checksum,
+                    version=max(conn.config.versions),
                 )
             ]
         return [
@@ -169,6 +176,7 @@ class Subflow(TCPSocket):
                 MPCapable(
                     sender_key=conn.local_key,
                     checksum_required=conn.config.checksum,
+                    version=conn.negotiated_version or 0,
                 )
             ]
         assert self.remote_nonce is not None
@@ -202,6 +210,13 @@ class Subflow(TCPSocket):
             if capable is None:
                 conn.enter_fallback("no MP_CAPABLE in SYN")
             else:
+                answer = conn.version_answer(capable.version)
+                if answer is None:
+                    conn.enter_fallback(
+                        f"no common MPTCP version (peer offered v{capable.version})"
+                    )
+                    return
+                conn.negotiated_version = answer
                 self.is_mptcp = True
                 conn.learn_remote_key(capable.sender_key)
                 conn.negotiate_checksum(capable.checksum_required)
@@ -223,6 +238,16 @@ class Subflow(TCPSocket):
                 self.is_mptcp = False
                 conn.enter_fallback("no MP_CAPABLE in SYN/ACK")
                 return
+            if capable.version not in conn.config.versions:
+                # The listener answered with a version this endpoint
+                # does not implement (a v0-only server confronted with a
+                # v1-only client lands here): plain TCP.
+                self.is_mptcp = False
+                conn.enter_fallback(
+                    f"unsupported MPTCP version v{capable.version} in SYN/ACK"
+                )
+                return
+            conn.negotiated_version = capable.version
             self.is_mptcp = True
             self.mptcp_confirmed = True
             conn.learn_remote_key(capable.sender_key)
@@ -384,6 +409,37 @@ class Subflow(TCPSocket):
                     break
             else:
                 self._rx_mapless_data_run += 1
+        elif (
+            not segment.syn
+            and not segment.fin
+            and not segment.rst
+            and self.is_mptcp
+            and self.kind == self.KIND_INITIAL
+            and not conn.conn_state.is_fallback
+        ):
+            # The data sender's half of the mid-connection rule: a
+            # genuine MPTCP peer attaches a DSS DATA_ACK to every pure
+            # ACK, so a run of option-less ACKs (after DSS traffic had
+            # been flowing) means a middlebox started stripping options
+            # on the reverse path too.  The receiver's MP_FAIL was
+            # stripped along with them, so without this symmetric
+            # detection the sender would keep emitting mappings and
+            # data-level retransmissions that the raw-continuing
+            # receiver delivers as duplicate stream bytes.
+            for option in segment._options:
+                if isinstance(option, MPTCPOption):
+                    self._rx_optionless_ack_run = 0
+                    break
+            else:
+                self._rx_optionless_ack_run += 1
+                if (
+                    self._rx_optionless_ack_run >= 2
+                    and self.rx_dss_received > 0
+                    and len(conn.subflows) == 1
+                ):
+                    conn.enter_fallback(
+                        "MPTCP options stripped from ACKs mid-connection"
+                    )
         for option in segment.options:
             cls = option.__class__
             if cls is DSS:
@@ -408,6 +464,7 @@ class Subflow(TCPSocket):
                 conn.on_fastclose(self)
 
     def _process_dss(self, dss: DSS, segment: Segment) -> None:
+        self.rx_dss_received += 1
         conn = self.connection
         if conn.conn_state.is_fallback:
             return

@@ -69,6 +69,9 @@ class SeededRNG:
     def expovariate(self, lambd: float) -> float:
         return self._random.expovariate(lambd)
 
+    def gauss(self, mu: float = 0.0, sigma: float = 1.0) -> float:
+        return self._random.gauss(mu, sigma)
+
     def choice(self, seq):
         return self._random.choice(seq)
 

@@ -11,8 +11,18 @@ from repro.stats.metrics import (
     pdf_from_samples,
 )
 from repro.stats.cpu import CPUCostModel, CPUModelParams
+from repro.stats.bootstrap import (
+    bootstrap_histogram_mean_ci,
+    bootstrap_proportion_ci,
+    histogram_mean,
+    wilson_interval,
+)
 
 __all__ = [
+    "bootstrap_histogram_mean_ci",
+    "bootstrap_proportion_ci",
+    "histogram_mean",
+    "wilson_interval",
     "GoodputMeter",
     "MemorySampler",
     "Histogram",

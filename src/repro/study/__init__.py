@@ -17,9 +17,49 @@ every path:
                        which the hole-blocking and ACK-mishandling
                        middleboxes break ("a third of paths will break
                        such connections").
+
+:mod:`repro.study.generative` generalises the fixed 142-path table into
+a declarative :class:`PopulationSpec` (per-AS behaviour mixes, MPTCP
+v0/v1 endpoint splits, ADD_ADDR-filtering firewalls) and
+:mod:`repro.study.scale` runs the same machinery over 10^5–10^6 sampled
+paths by deduplicating them onto distinct behaviour signatures::
+
+    python -m repro.study.scale --paths 100000 --spec internet2021
 """
 
+from repro.study.generative import (
+    ASClass,
+    BehaviourMix,
+    PopulationSpec,
+    SampledPath,
+    get_spec,
+    sample_path,
+    sample_population,
+)
 from repro.study.population import PathProfile, synthesize_population
 from repro.study.runner import StudyResult, run_study
 
-__all__ = ["PathProfile", "synthesize_population", "StudyResult", "run_study"]
+
+def run_scale_study(*args, **kwargs):
+    """Lazy forward to :func:`repro.study.scale.run_scale_study` — the
+    scale module stays importable as ``python -m repro.study.scale``
+    without being shadowed by a package-level import."""
+    from repro.study.scale import run_scale_study as run
+
+    return run(*args, **kwargs)
+
+
+__all__ = [
+    "ASClass",
+    "BehaviourMix",
+    "PathProfile",
+    "PopulationSpec",
+    "SampledPath",
+    "StudyResult",
+    "get_spec",
+    "run_scale_study",
+    "run_study",
+    "sample_path",
+    "sample_population",
+    "synthesize_population",
+]

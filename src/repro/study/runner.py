@@ -87,21 +87,21 @@ _TIMEOUT = 30.0
 
 
 def _transfer_tcp(
-    net: Network, client, server, timeout: float
+    net: Network, client, server, timeout: float, transfer: int = _TRANSFER
 ) -> tuple[bool, Optional[float]]:
     meter = GoodputMeter(net.sim)
     state: dict = {}
 
     def on_accept(sock):
-        state["rx"] = BulkReceiverApp(sock, meter, expect_bytes=_TRANSFER, verify=True)
+        state["rx"] = BulkReceiverApp(sock, meter, expect_bytes=transfer, verify=True)
 
     Listener(server, 80, on_accept=on_accept)
     sock = TCPSocket(client)
-    BulkSenderApp(sock, _TRANSFER)
+    BulkSenderApp(sock, transfer)
     sock.connect(Endpoint(server.primary_address, 80))
     net.run(until=timeout)
     receiver = state.get("rx")
-    ok = receiver is not None and receiver.received >= _TRANSFER and not receiver.corrupt
+    ok = receiver is not None and receiver.received >= transfer and not receiver.corrupt
     return ok, (receiver.completed_at if ok else None)
 
 

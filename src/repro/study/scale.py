@@ -1,0 +1,478 @@
+"""Internet-scale deployment study over a generative path population.
+
+Pushes the 142-path study (``repro.study.runner``) to 10^5–10^6 sampled
+paths without giving up the property that every outcome comes from the
+*real* handshake/fallback machinery running over real middlebox chains.
+Two facts make that tractable:
+
+1. A path's simulated outcome is a pure function of its behaviour
+   **signature** (which middleboxes, which endpoint versions, which
+   topology) plus a seed — see :meth:`SampledPath.signature`.  A million
+   sampled paths collapse onto a few hundred distinct signatures, so the
+   driver runs one microsimulation per ``(signature, replicate)`` and
+   folds sampled multiplicities into streaming counters.
+2. Sampling path ``i`` is a pure function of ``(spec, i, seed)``
+   (per-index forked RNG streams), so the sample phase can be cut into
+   batches fanned over the PR-1 sweep engine — and the resulting
+   counters are independent of batch size, worker count and shard
+   layout.  Microsimulations build ordinary :class:`Network` objects,
+   which transparently honour ``REPRO_SHARDS`` (PR 7).
+
+Counter totals feed the seeded interval estimators in
+:mod:`repro.stats.bootstrap`, so the report carries bootstrap CIs while
+``STUDY_scale.json`` stays byte-identical for a fixed seed across runs,
+drivers and partitionings (wall-clock metrics go to ``BENCH_study.json``).
+
+Usage::
+
+    python -m repro.study.scale --paths 100000 --spec internet2021
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+import zlib
+from collections import Counter
+from pathlib import Path as FsPath
+from typing import Optional
+
+from repro.mptcp.api import connect as mptcp_connect
+from repro.mptcp.api import listen as mptcp_listen
+from repro.mptcp.connection import MPTCPConfig
+from repro.net.network import Network
+from repro.net.packet import Endpoint
+from repro.stats.bootstrap import (
+    bootstrap_histogram_mean_ci,
+    bootstrap_proportion_ci,
+    histogram_mean,
+    wilson_interval,
+)
+from repro.stats.metrics import GoodputMeter
+from repro.study.generative import (
+    SampledPath,
+    get_spec,
+    sample_path,
+    signature_label,
+)
+from repro.study.runner import (
+    _DELAY,
+    _QUEUE,
+    _RATE,
+    _TIMEOUT,
+    _TRANSFER,
+    _run_strawman_case,
+    _run_tcp_case,
+)
+
+# ----------------------------------------------------------------------
+# Phase 1: sampling (batched, embarrassingly parallel, no simulators)
+
+
+def _sample_batch(spec_name: str, start: int, count: int, seed: int) -> dict:
+    """Sample ``count`` paths and return mergeable counters.
+
+    A pure function of its arguments: per-index RNG forks mean the same
+    index yields the same path regardless of which batch asked.
+    """
+    spec = get_spec(spec_name)
+    marginals: Counter = Counter()
+    as_classes: Counter = Counter()
+    behaviour_classes: Counter = Counter()
+    versions: Counter = Counter()
+    signatures: Counter = Counter()
+    for index in range(start, start + count):
+        path = sample_path(spec, index, seed)
+        marginals["strip_syn_options"] += path.strips_syn_options
+        marginals["strip_all_options"] += path.strips_all_options
+        marginals["isn_rewrite"] += path.rewrites_isn
+        marginals["hole_block"] += path.blocks_holes
+        marginals["ack_mishandle"] += path.ack_mode != "pass"
+        marginals["nat"] += path.has_nat
+        marginals["add_addr_filter"] += path.add_addr_filtered
+        marginals["server_multihomed"] += path.server_multihomed
+        as_classes[path.as_class] += 1
+        behaviour_classes[path.behaviour_class] += 1
+        cv = "v" + "".join(str(v) for v in path.client_versions)
+        sv = "v" + "".join(str(v) for v in path.server_versions)
+        versions[f"client:{cv}"] += 1
+        versions[f"server:{sv}"] += 1
+        signatures[path.signature()] += 1
+    return {
+        "marginals": dict(marginals),
+        "as_classes": dict(as_classes),
+        "behaviour_classes": dict(behaviour_classes),
+        "versions": dict(versions),
+        "signatures": dict(signatures),
+    }
+
+
+def _merge_counts(into: dict, batch: dict) -> None:
+    for table, counts in batch.items():
+        target = into.setdefault(table, {})
+        for key, value in counts.items():
+            target[key] = target.get(key, 0) + value
+
+
+# ----------------------------------------------------------------------
+# Phase 2: one microsimulation per distinct (signature, replicate)
+
+
+def _sig_seed(spec_name: str, signature: tuple, replicate: int, base_seed: int) -> int:
+    """A stable simulation seed derived from the signature itself (not
+    the path index) so every path sharing a signature maps onto the same
+    microsimulation regardless of partitioning."""
+    digest = zlib.crc32(f"{spec_name}|{signature!r}|{replicate}".encode("utf-8"))
+    return (base_seed * 1_000_003 + digest) & 0x7FFFFFFF
+
+
+def _run_mptcp_case(path: SampledPath, seed: int) -> dict:
+    """MPTCP over the sampled topology.
+
+    Client-multihomed paths mirror the 142-path study: first subflow
+    over the profiled path, second over a clean one.  Server-multihomed
+    paths model §3.2: a single-homed (often NATted) client whose only
+    route to the server's second address is an ADD_ADDR advertisement —
+    and *both* subflows cross the client's access-network middleboxes.
+    """
+    net = Network(seed=seed)
+    secondary_rate = _RATE * path.rate_ratio
+    if path.server_multihomed:
+        client = net.add_host("client", "10.0.0.1")
+        server = net.add_host("server", "10.9.0.1", "10.9.1.1")
+        net.connect(
+            client.interface("10.0.0.1"),
+            server.interface("10.9.0.1"),
+            rate_bps=_RATE,
+            delay=_DELAY,
+            queue_bytes=_QUEUE,
+            elements=path.build_elements(net.rng.fork("mb-primary"), "99.0.0.1"),
+        )
+        net.connect(
+            client.interface("10.0.0.1"),
+            server.interface("10.9.1.1"),
+            rate_bps=secondary_rate,
+            delay=_DELAY,
+            queue_bytes=_QUEUE,
+            elements=path.build_elements(net.rng.fork("mb-secondary"), "99.0.1.1"),
+        )
+    else:
+        client = net.add_host("client", "10.0.0.1", "10.1.0.1")
+        server = net.add_host("server", "10.9.0.1")
+        net.connect(
+            client.interface("10.0.0.1"),
+            server.interface("10.9.0.1"),
+            rate_bps=_RATE,
+            delay=_DELAY,
+            queue_bytes=_QUEUE,
+            elements=path.build_elements(net.rng.fork("mb-primary"), "99.0.0.1"),
+        )
+        net.connect(
+            client.interface("10.1.0.1"),
+            server.interface("10.9.0.1"),
+            rate_bps=secondary_rate,
+            delay=_DELAY,
+            queue_bytes=_QUEUE,
+        )
+    meter = GoodputMeter(net.sim)
+    state: dict = {}
+
+    def on_accept(conn):
+        from repro.apps.bulk import BulkReceiverApp
+
+        state["rx"] = BulkReceiverApp(conn, meter, expect_bytes=_TRANSFER, verify=True)
+
+    mptcp_listen(server, 80, config=MPTCPConfig(versions=path.server_versions), on_accept=on_accept)
+    conn = mptcp_connect(
+        client, Endpoint("10.9.0.1", 80), config=MPTCPConfig(versions=path.client_versions)
+    )
+    from repro.apps.bulk import BulkSenderApp
+
+    BulkSenderApp(conn, _TRANSFER)
+    net.run(until=_TIMEOUT)
+    receiver = state.get("rx")
+    ok = receiver is not None and receiver.received >= _TRANSFER and not receiver.corrupt
+    multipath = (
+        ok
+        and not conn.fallback
+        and sum(1 for s in conn.subflows if s.established_at is not None and not s.failed) >= 2
+    )
+    return {
+        "ok": ok,
+        "multipath": multipath,
+        "fallback": conn.fallback,
+        "fallback_reason": conn.fallback_reason,
+        "negotiated_version": conn.negotiated_version,
+        "time": receiver.completed_at if ok else None,
+    }
+
+
+def _evaluate_signature(
+    spec_name: str, signature: tuple, replicate: int, seed: int, include_strawman: bool
+) -> dict:
+    """All cases for one distinct signature — the sweep-engine unit."""
+    path = SampledPath.from_signature(signature)
+    sim_seed = _sig_seed(spec_name, signature, replicate, seed)
+    tcp_ok, tcp_time = _run_tcp_case(path, sim_seed)
+    mptcp = _run_mptcp_case(path, sim_seed + 1)
+    outcome = {
+        "signature": signature,
+        "replicate": replicate,
+        "tcp_ok": tcp_ok,
+        "tcp_time": tcp_time,
+        "mptcp": mptcp,
+    }
+    if include_strawman:
+        completed, strawman_time = _run_strawman_case(path, sim_seed + 2)
+        broken = not completed or (
+            tcp_time is not None
+            and strawman_time is not None
+            and strawman_time > 10.0 * tcp_time
+        )
+        outcome["strawman_ok"] = not broken
+    if tcp_ok and mptcp["ok"] and tcp_time and mptcp["time"]:
+        outcome["benefit"] = tcp_time / mptcp["time"]
+    else:
+        outcome["benefit"] = None
+    return outcome
+
+
+# ----------------------------------------------------------------------
+# Folding and reporting
+
+
+def _split_count(count: int, replicates: int) -> list[int]:
+    """Deterministically split a signature's multiplicity across its
+    replicate microsimulations."""
+    base, extra = divmod(count, replicates)
+    return [base + (1 if r < extra else 0) for r in range(replicates)]
+
+
+def _rate_entry(count: int, total: int, seed: int, name: str) -> dict:
+    lo, hi = bootstrap_proportion_ci(count, total, seed=seed, name=name)
+    return {
+        "count": count,
+        "rate": round(count / total, 6) if total else 0.0,
+        "ci95": [round(lo, 6), round(hi, 6)],
+    }
+
+
+def run_scale_study(
+    spec_name: str,
+    paths: int,
+    seed: int = 2026,
+    batch: int = 20_000,
+    replicates: int = 1,
+    include_strawman: bool = False,
+    workers: Optional[int] = None,
+) -> tuple[dict, dict]:
+    """The full pipeline: sample → deduplicate → simulate → fold.
+
+    Returns ``(report, bench)``.  ``report`` is a pure function of
+    ``(spec_name, paths, seed, batch-independent inputs)`` — rendering
+    it with sorted keys gives byte-identical JSON across runs, worker
+    counts and shard layouts.  ``bench`` carries the wall-clock numbers
+    and is *not* deterministic.
+    """
+    from repro.experiments.runner import Point, run_parallel
+
+    spec = get_spec(spec_name)
+    started = time.perf_counter()  # analyze: ok(DET02): wall-clock perf metering only
+
+    batch = max(1, batch)
+    sample_points = [
+        Point(
+            _sample_batch,
+            {
+                "spec_name": spec_name,
+                "start": start,
+                "count": min(batch, paths - start),
+                "seed": seed,
+            },
+            label=f"sample[{start}:{min(start + batch, paths)}]",
+        )
+        for start in range(0, paths, batch)
+    ]
+    sampled = run_parallel(f"scale-sample-{spec_name}", sample_points, workers=workers)
+    counts: dict = {}
+    for batch_counts in sampled.values:
+        _merge_counts(counts, batch_counts)
+    signatures = counts.pop("signatures", {})
+    sample_elapsed = time.perf_counter() - started  # analyze: ok(DET02): wall-clock perf metering only
+
+    ordered = sorted(signatures.items(), key=lambda item: repr(item[0]))
+    replicates = max(1, replicates)
+    sim_points = []
+    for sig_index, (signature, _count) in enumerate(ordered):
+        for replicate in range(replicates):
+            sim_points.append(
+                Point(
+                    _evaluate_signature,
+                    {
+                        "spec_name": spec_name,
+                        "signature": signature,
+                        "replicate": replicate,
+                        "seed": seed,
+                        "include_strawman": include_strawman,
+                    },
+                    label=f"sig{sig_index}r{replicate}",
+                )
+            )
+    simulated = run_parallel(f"scale-sim-{spec_name}", sim_points, workers=workers)
+
+    outcome_counts: Counter = Counter()
+    fallback_reasons: Counter = Counter()
+    negotiated: Counter = Counter()
+    benefit_hist: Counter = Counter()
+    per_signature: dict[str, dict] = {}
+    point_index = 0
+    for signature, count in ordered:
+        label = signature_label(signature)
+        sig_entry = per_signature.setdefault(label, {"paths": 0})
+        sig_entry["paths"] += count
+        for weight in _split_count(count, replicates):
+            outcome = simulated.values[point_index]
+            point_index += 1
+            if weight == 0:
+                continue
+            mptcp = outcome["mptcp"]
+            outcome_counts["tcp_completed"] += weight * outcome["tcp_ok"]
+            outcome_counts["mptcp_completed"] += weight * mptcp["ok"]
+            outcome_counts["mptcp_used_multipath"] += weight * mptcp["multipath"]
+            outcome_counts["mptcp_fell_back"] += weight * mptcp["fallback"]
+            if include_strawman:
+                outcome_counts["strawman_ok"] += weight * outcome["strawman_ok"]
+            if mptcp["fallback"] and mptcp["fallback_reason"]:
+                fallback_reasons[mptcp["fallback_reason"]] += weight
+            version = mptcp["negotiated_version"]
+            if mptcp["ok"] and not mptcp["fallback"] and version is not None:
+                negotiated[f"mptcp-v{version}"] += weight
+            else:
+                negotiated["plain-tcp"] += weight
+            if outcome["benefit"] is not None:
+                benefit_hist[round(outcome["benefit"], 2)] += weight
+            sig_entry["multipath"] = bool(mptcp["multipath"])
+            sig_entry["fallback"] = bool(mptcp["fallback"])
+            if include_strawman:
+                sig_entry["strawman_ok"] = bool(outcome["strawman_ok"])
+
+    outcomes = {
+        name: _rate_entry(int(outcome_counts[name]), paths, seed, name)
+        for name in sorted(outcome_counts)
+    }
+    benefit_ci = bootstrap_histogram_mean_ci(dict(benefit_hist), seed=seed, name="benefit")
+    mean_benefit = histogram_mean(dict(benefit_hist))
+
+    marginals = {}
+    expected = spec.marginals()
+    for key in sorted(set(counts.get("marginals", {})) | set(expected)):
+        observed = int(counts.get("marginals", {}).get(key, 0))
+        lo, hi = wilson_interval(observed, paths, confidence=0.99)
+        marginals[key] = {
+            "count": observed,
+            "rate": round(observed / paths, 6) if paths else 0.0,
+            "expected": round(expected.get(key, 0.0), 6),
+            "wilson99": [round(lo, 6), round(hi, 6)],
+        }
+
+    report = {
+        "spec": spec.name,
+        "description": spec.description,
+        "paths": paths,
+        "seed": seed,
+        "replicates": replicates,
+        "include_strawman": include_strawman,
+        "population": {
+            "marginals": marginals,
+            "as_classes": {k: int(v) for k, v in sorted(counts.get("as_classes", {}).items())},
+            "behaviour_classes": {
+                k: int(v) for k, v in sorted(counts.get("behaviour_classes", {}).items())
+            },
+            "versions": {k: int(v) for k, v in sorted(counts.get("versions", {}).items())},
+            "distinct_signatures": len(ordered),
+        },
+        "outcomes": outcomes,
+        "fallback_reasons": {k: int(v) for k, v in sorted(fallback_reasons.items())},
+        "negotiated": {k: int(v) for k, v in sorted(negotiated.items())},
+        "aggregation_benefit": {
+            "mean": round(mean_benefit, 6) if mean_benefit is not None else None,
+            "ci95": [round(benefit_ci[0], 6), round(benefit_ci[1], 6)] if benefit_ci else None,
+            "histogram": {f"{value:.2f}": int(n) for value, n in sorted(benefit_hist.items())},
+        },
+        "signatures": {k: per_signature[k] for k in sorted(per_signature)},
+    }
+
+    elapsed = time.perf_counter() - started  # analyze: ok(DET02): wall-clock perf metering only
+    bench = {
+        "spec": spec.name,
+        "paths": paths,
+        "microsims": len(sim_points),
+        "distinct_signatures": len(ordered),
+        "sample_seconds": round(sample_elapsed, 3),
+        "total_seconds": round(elapsed, 3),
+        "paths_per_sec": round(paths / elapsed, 1) if elapsed > 0 else None,
+        "sample_sweep": sampled.perf.as_notes(),
+        "sim_sweep": simulated.perf.as_notes(),
+    }
+    return report, bench
+
+
+def counter_digest(report: dict) -> str:
+    """A short stable digest of the deterministic report — what the CI
+    smoke job compares across independent runs."""
+    canonical = json.dumps(report, sort_keys=True, separators=(",", ":"))
+    return f"{zlib.crc32(canonical.encode('utf-8')):08x}"
+
+
+def render_report(report: dict) -> str:
+    return json.dumps(report, sort_keys=True, indent=2) + "\n"
+
+
+# ----------------------------------------------------------------------
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.study.scale",
+        description="Run the deployment study over a generative path population.",
+    )
+    parser.add_argument("--paths", type=int, default=100_000, help="population size")
+    parser.add_argument(
+        "--spec",
+        default="internet2021",
+        help="population spec preset (paper2011, paper2011-port80, internet2021, internet2022)",
+    )
+    parser.add_argument("--seed", type=int, default=2026)
+    parser.add_argument("--batch", type=int, default=20_000, help="sampling batch size")
+    parser.add_argument("--replicates", type=int, default=1, help="microsims per signature")
+    parser.add_argument("--strawman", action="store_true", help="also run the §3 strawman")
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--out", default="STUDY_scale.json")
+    parser.add_argument("--bench", default="BENCH_study.json")
+    args = parser.parse_args(argv)
+
+    report, bench = run_scale_study(
+        args.spec,
+        args.paths,
+        seed=args.seed,
+        batch=args.batch,
+        replicates=args.replicates,
+        include_strawman=args.strawman,
+        workers=args.workers,
+    )
+    FsPath(args.out).write_text(render_report(report))
+    FsPath(args.bench).write_text(json.dumps(bench, sort_keys=True, indent=2) + "\n")
+    digest = counter_digest(report)
+    print(f"spec={report['spec']} paths={report['paths']} digest={digest}")
+    print(
+        f"signatures={report['population']['distinct_signatures']} "
+        f"paths/s={bench['paths_per_sec']}"
+    )
+    for name, entry in report["outcomes"].items():  # analyze: ok(DET03): built from sorted keys above
+        print(f"  {name}: {entry['rate']:.4f} ci95={entry['ci95']}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,7 @@ from hypothesis import strategies as st
 
 from repro.middlebox import (
     AckCoercer,
+    AddAddrFilter,
     HoleBlocker,
     OptionStripper,
     SegmentCoalescer,
@@ -20,6 +21,7 @@ from repro.mptcp.connection import MPTCPConfig
 from repro.net.faults import Corrupter, Duplicator, GilbertElliottLoss, LinkFlap, Reorderer
 from repro.net.path import FORWARD
 from repro.sim.rng import SeededRNG
+from repro.study.generative import INTERNET_2021, sample_path
 
 from conftest import make_multipath, make_tcp_pair, mptcp_transfer, random_payload, tcp_transfer
 
@@ -48,7 +50,18 @@ ELEMENT_MAKERS = [
     ),
     lambda seed: Reorderer(seed=seed, probability=0.05, depth=3),
     lambda seed: Duplicator(probability=0.02, rng=SeededRNG(seed, "fd")),
+    lambda seed: AddAddrFilter(),
 ]
+
+
+def population_chain(index: int, seed: int) -> list:
+    """An ELEMENT_MAKERS-style source that draws a whole middlebox chain
+    from the generative population model (repro.study.generative)
+    instead of a single element — compositions like
+    proxy = stripper + ISN rewriter + hole blocker + ACK coercer are
+    exactly what single-element fuzzing never exercises."""
+    path = sample_path(INTERNET_2021, index, seed)
+    return path.build_elements(SeededRNG(seed, "fzpop"), "99.0.0.77")
 
 
 class TestTCPFuzz:
@@ -159,6 +172,34 @@ class TestMPTCPFuzz:
         assert bytes(result.received) == payload
         assert stripper.stripped > 0
         assert result.client.fallback and result.server.fallback
+
+    @settings(max_examples=examples(8), deadline=None)
+    @given(
+        index=st.integers(min_value=0, max_value=5000),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_mptcp_over_sampled_population_chain(self, index, seed):
+        """Whole middlebox chains drawn from the generative population:
+        whatever composition the spec samples, the stream arrives intact
+        (multipath, degraded, or cleanly fallen back)."""
+        net, client, server = make_multipath(
+            seed=seed, elements_per_path=[population_chain(index, seed), []]
+        )
+        payload = random_payload(60_000, seed=seed)
+        result = mptcp_transfer(net, client, server, payload, duration=240)
+        assert bytes(result.received) == payload
+
+    def test_population_chain_fixed_seed_smoke(self):
+        """Deterministic tier-1 smoke over a handful of sampled chains
+        (the CI fuzz job cranks the hypothesis variant up instead)."""
+        for index in range(6):
+            net, client, server = make_multipath(
+                seed=index, elements_per_path=[population_chain(index, 2026), []]
+            )
+            payload = random_payload(40_000, seed=index)
+            result = mptcp_transfer(net, client, server, payload, duration=240)
+            behaviours = sample_path(INTERNET_2021, index, 2026).behaviours()
+            assert bytes(result.received) == payload, behaviours
 
     @settings(max_examples=examples(6), deadline=None)
     @given(

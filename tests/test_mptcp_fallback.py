@@ -1,8 +1,16 @@
 """The fallback ladder (§3.1, §3.3.6): MPTCP must complete the transfer
 wherever plain TCP would."""
 
-from repro.middlebox import OptionStripper, PayloadModifier, SegmentCoalescer
+from repro.middlebox import (
+    AckCoercer,
+    HoleBlocker,
+    OptionStripper,
+    PayloadModifier,
+    SegmentCoalescer,
+    SequenceRewriter,
+)
 from repro.mptcp.connection import MPTCPConfig
+from repro.sim.rng import SeededRNG
 
 from conftest import make_multipath, make_tcp_pair, mptcp_transfer, random_payload
 
@@ -97,6 +105,45 @@ class TestHandshakeFallback:
         config = MPTCPConfig(syn_retries_drop_mptcp=2)
         payload = random_payload(60_000)
         result = mptcp_transfer(net, client, server, payload, duration=120, config=config)
+        assert bytes(result.received) == payload
+        assert result.client.fallback
+
+
+class TestMidConnectionBidirectionalStrip:
+    """Regression: a stripper that activates mid-connection and eats
+    options in BOTH directions (what a transparent proxy does) also eats
+    the receiver's MP_FAIL — so the receiver-side mid-connection rule
+    alone never reaches the sender, which kept emitting mappings while
+    the raw-continuing receiver delivered duplicate stream bytes.  The
+    sender's symmetric rule (a run of option-less pure ACKs after DSS
+    traffic) must trigger the fallback instead."""
+
+    def _transfer(self, elements, seed=11):
+        net, client, server = make_tcp_pair(
+            seed=seed, queue_bytes=400_000, elements=elements
+        )
+        payload = random_payload(1_500_000, seed=seed)
+        result = mptcp_transfer(net, client, server, payload, duration=60)
+        return payload, result
+
+    def test_bidirectional_mid_connection_strip_falls_back_cleanly(self):
+        stripper = OptionStripper(syn_only=False, skip_syn=True, active_after=0.5)
+        payload, result = self._transfer([stripper])
+        assert bytes(result.received) == payload  # no duplicated bytes
+        assert stripper.stripped > 0
+        assert result.client.fallback and result.server.fallback
+
+    def test_mid_connection_strip_composed_with_proxy_behaviours(self):
+        """The multi-behaviour path from the population model: stripping
+        activates while an ISN rewriter, hole blocker and ACK coercer
+        are also on the path — fallback must still be clean."""
+        elements = [
+            OptionStripper(syn_only=False, skip_syn=True, active_after=0.5),
+            SequenceRewriter(SeededRNG(7, "isn")),
+            HoleBlocker(),
+            AckCoercer(mode="correct"),
+        ]
+        payload, result = self._transfer(elements)
         assert bytes(result.received) == payload
         assert result.client.fallback
 

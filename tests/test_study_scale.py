@@ -1,0 +1,145 @@
+"""The scale driver: the paper-2011 preset must reproduce the 142-path
+study's conclusions, the report must be byte-deterministic, and the
+interval estimates must be sane."""
+
+import json
+
+import pytest
+
+from repro.study.scale import (
+    counter_digest,
+    main,
+    render_report,
+    run_scale_study,
+)
+
+SEED = 31
+
+
+@pytest.fixture(scope="module")
+def paper2011():
+    """One 142-path-equivalent run of the generative study, with the
+    strawman, exactly what ``run_study`` does over the fixed table."""
+    report, bench = run_scale_study(
+        "paper2011", paths=142, seed=SEED, include_strawman=True
+    )
+    return report, bench
+
+
+class TestPaper2011Golden:
+    """Pinned against tests/test_study.py's conclusions."""
+
+    def test_tcp_completes_everywhere(self, paper2011):
+        report, _ = paper2011
+        assert report["outcomes"]["tcp_completed"]["count"] == report["paths"]
+
+    def test_mptcp_completes_everywhere(self, paper2011):
+        report, _ = paper2011
+        assert report["outcomes"]["mptcp_completed"]["count"] == report["paths"]
+
+    def test_fallback_exactly_on_option_stripped_paths(self, paper2011):
+        report, _ = paper2011
+        strippers = report["population"]["marginals"]["strip_syn_options"]["count"]
+        assert report["outcomes"]["mptcp_fell_back"]["count"] == strippers
+        assert (
+            report["outcomes"]["mptcp_used_multipath"]["count"]
+            == report["paths"] - strippers
+        )
+
+    def test_per_signature_semantics(self, paper2011):
+        report, _ = paper2011
+        for label, entry in report["signatures"].items():
+            behaviours = set(label.split("|"))
+            stripped = bool(behaviours & {"strip-all-options", "strip-syn-options"})
+            assert entry["fallback"] == stripped, label
+            assert entry["multipath"] == (not stripped), label
+            # The strawman breaks on sequence-space interference
+            # ("a third of paths will break such connections").
+            if behaviours & {"hole-block", "ack-drop", "ack-correct"}:
+                assert not entry["strawman_ok"], label
+            if not behaviours - {"clean", "nat", "cmh"} - {
+                p for p in behaviours if p.startswith(("cv", "sv", "r"))
+            }:
+                assert entry["strawman_ok"], label
+
+    def test_fallback_reasons_are_option_stripping(self, paper2011):
+        report, _ = paper2011
+        assert set(report["fallback_reasons"]) <= {
+            "no MP_CAPABLE in SYN/ACK",
+            "MPTCP options stripped from first data",
+        }
+
+    def test_all_v0_negotiation(self, paper2011):
+        report, _ = paper2011
+        assert set(report["negotiated"]) <= {"mptcp-v0", "plain-tcp"}
+
+
+class TestVersionSplit:
+    def test_internet2022_version_mismatch_dominates_fallbacks(self):
+        report, _ = run_scale_study("internet2022", paths=400, seed=SEED)
+        reasons = report["fallback_reasons"]
+        version_mismatch = sum(
+            count for reason, count in reasons.items() if "version" in reason
+        )
+        middlebox = sum(
+            count for reason, count in reasons.items() if "version" not in reason
+        )
+        assert version_mismatch > middlebox
+        assert "mptcp-v1" in report["negotiated"]
+
+
+class TestDeterminism:
+    def test_byte_identical_reports(self):
+        a, _ = run_scale_study("internet2021", paths=250, seed=SEED)
+        b, _ = run_scale_study("internet2021", paths=250, seed=SEED)
+        assert render_report(a) == render_report(b)
+        assert counter_digest(a) == counter_digest(b)
+
+    def test_seed_changes_report(self):
+        a, _ = run_scale_study("paper2011", paths=80, seed=1)
+        b, _ = run_scale_study("paper2011", paths=80, seed=2)
+        assert counter_digest(a) != counter_digest(b)
+
+
+class TestIntervals:
+    def test_bootstrap_cis_bracket_rates(self, paper2011):
+        report, _ = paper2011
+        for name, entry in report["outcomes"].items():
+            lo, hi = entry["ci95"]
+            assert 0.0 <= lo <= entry["rate"] <= hi <= 1.0, name
+
+    def test_benefit_histogram_consistency(self):
+        report, _ = run_scale_study("internet2021", paths=300, seed=SEED)
+        benefit = report["aggregation_benefit"]
+        total = sum(benefit["histogram"].values())
+        assert total == report["outcomes"]["mptcp_completed"]["count"]
+        assert benefit["mean"] is not None
+        lo, hi = benefit["ci95"]
+        assert lo <= benefit["mean"] <= hi
+        # Multipath paths aggregate: some mass above ratio 1.
+        assert any(float(k) > 1.0 for k in benefit["histogram"])
+
+
+class TestCLI:
+    def test_main_writes_reports(self, tmp_path, capsys):
+        out = tmp_path / "STUDY_scale.json"
+        bench = tmp_path / "BENCH_study.json"
+        code = main(
+            [
+                "--paths", "40",
+                "--spec", "paper2011",
+                "--seed", str(SEED),
+                "--out", str(out),
+                "--bench", str(bench),
+            ]
+        )
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["paths"] == 40
+        perf = json.loads(bench.read_text())
+        assert perf["paths"] == 40 and perf["total_seconds"] >= 0
+        assert "digest=" in capsys.readouterr().out
+
+    def test_unknown_spec_raises(self):
+        with pytest.raises(KeyError):
+            run_scale_study("nonesuch", paths=10)
