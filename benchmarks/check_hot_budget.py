@@ -1,0 +1,100 @@
+"""CI ratchet for the HOT01 allocation budget.
+
+HOT01 (``repro.analyze``) fails when a hot-path function allocates
+*more* than its committed budget (``src/repro/analyze/hot_budget.json``);
+this script guards the other direction: it re-measures the hot closure
+and fails when the committed file is *looser* than reality — an entry
+above the measured count (slack a future regression could hide under)
+or an entry for a function no longer in the hot closure (dead weight).
+Together the two checks make the budget a true ratchet: allocation
+counts can only go down, and every reduction must be committed.
+
+Usage: python benchmarks/check_hot_budget.py [repo_root] [--write]
+
+``--write`` regenerates the budget file from the current measurement
+(the sanctioned way to tighten the ratchet after removing allocations).
+The measured-vs-committed diff is always written to
+``hot-budget-diff.json`` next to the budget file's repo root so CI can
+upload it as an artifact.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+
+def main(argv: list[str]) -> int:
+    args = [a for a in argv[1:] if a != "--write"]
+    write = "--write" in argv[1:]
+    root = Path(args[0]) if args else Path(__file__).resolve().parent.parent
+    sys.path.insert(0, str(root / "src"))
+    from repro.analyze import hotpath
+
+    budget_path = root / "src" / "repro" / "analyze" / hotpath.BUDGET_FILENAME
+    committed = hotpath.load_budget(budget_path)
+    try:
+        measured = hotpath.measure_paths([str(root / "src")])
+    except SyntaxError as exc:
+        print(f"FAIL: source tree does not parse: {exc}")
+        return 1
+
+    slack = {
+        key: {"committed": committed[key], "measured": measured.get(key, 0)}
+        for key in committed
+        if committed[key] > measured.get(key, 0) and key in measured
+    }
+    dead = sorted(key for key in committed if key not in measured)
+    over = {
+        key: {"committed": committed.get(key, 0), "measured": measured[key]}
+        for key in measured
+        if measured[key] > committed.get(key, 0)
+    }
+    diff = {
+        "committed_functions": len(committed),
+        "measured_functions": len(measured),
+        "committed_sites": sum(committed.values()),
+        "measured_sites": sum(measured.values()),
+        "slack": slack,
+        "dead_entries": dead,
+        "over_budget": over,
+    }
+    (root / "hot-budget-diff.json").write_text(
+        json.dumps(diff, indent=2) + "\n", encoding="utf-8"
+    )
+    print(
+        f"hot budget: {len(measured)} functions / {sum(measured.values())} "
+        f"sites measured, {len(committed)} / {sum(committed.values())} committed"
+    )
+
+    if write:
+        budget_path.write_text(
+            json.dumps(dict(sorted(measured.items())), indent=2) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {budget_path}")
+        return 0
+
+    failures = []
+    for key, entry in sorted(slack.items()):
+        failures.append(
+            f"slack: {key} budgeted {entry['committed']} but measures "
+            f"{entry['measured']} — tighten with --write"
+        )
+    for key in dead:
+        failures.append(f"dead entry: {key} is no longer in the hot closure")
+    for key, entry in sorted(over.items()):
+        failures.append(
+            f"over budget: {key} measures {entry['measured']} against "
+            f"{entry['committed']} (HOT01 will flag the sites)"
+        )
+    if failures:
+        print()
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("hot budget ratchet: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

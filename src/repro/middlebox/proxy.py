@@ -35,7 +35,7 @@ class ProactiveAcker(PathElement):
     def process(self, segment: Segment, direction: int) -> list[tuple[Segment, int]]:
         if direction == FORWARD and segment.payload and not segment.syn:
             key = (segment.src, segment.dst)
-            end = seq_add(segment.seq, len(segment.payload))
+            end = seq_add(segment.seq, segment.payload_len)
             previous = self._expected.get(key)
             if previous is None or seq_diff(end, previous) > 0:
                 self._expected[key] = end

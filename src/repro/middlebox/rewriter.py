@@ -25,6 +25,8 @@ from repro.sim.rng import SeededRNG
 class SequenceRewriter(PathElement):
     # Synchronous per-segment rewrite, no timers or clock reads.
     shard_safe = True
+    # Write-only counter; shards may accumulate independently.
+    shard_stats = ("rewrites",)
 
     def __init__(
         self,
@@ -43,7 +45,10 @@ class SequenceRewriter(PathElement):
         delta = self._deltas.get(key)
         if delta is None and create:
             delta = self.rng.getrandbits(32)
-            self._deltas[key] = delta
+            # Both directions consult the same ledger instance; the
+            # merged cut driver is single-process and has_cut_elements
+            # bars process-per-shard cloning.
+            self._deltas[key] = delta  # analyze: ok(SHD01): per-flow delta ledger, single-instance under the merged cut driver
         return delta
 
     def process(self, segment: Segment, direction: int) -> list[tuple[Segment, int]]:

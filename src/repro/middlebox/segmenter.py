@@ -39,7 +39,7 @@ class SegmentSplitter(PathElement):
         self.splits = 0
 
     def process(self, segment: Segment, direction: int) -> list[tuple[Segment, int]]:
-        if len(segment.payload) <= self.mss:
+        if segment.payload_len <= self.mss:
             return [(segment, direction)]
         pieces: list[tuple[Segment, int]] = []
         payload = segment.payload
@@ -108,11 +108,11 @@ class SegmentCoalescer(PathElement):
         held = self._held.get(key)
         if held is not None:
             held_segment, held_direction, timer = held
-            contiguous = seq_add(held_segment.seq, len(held_segment.payload)) == segment.seq
+            contiguous = seq_add(held_segment.seq, held_segment.payload_len) == segment.seq
             if (
                 contiguous
                 and held_direction == direction
-                and len(held_segment.payload) + len(segment.payload) <= self.max_size
+                and held_segment.payload_len + segment.payload_len <= self.max_size
                 and not held_segment.fin
             ):
                 # Mutation point: coalescing builds new content, so both
@@ -129,7 +129,10 @@ class SegmentCoalescer(PathElement):
                 return []
             self._flush_flow(key)
         timer = self.sim.schedule(self.hold_time, self._flush_flow, key)
-        self._held[key] = (segment, direction, timer)
+        # The hold happens *before* delivery: the segment has not
+        # reached Host.deliver yet, so the recycle refcount baseline is
+        # taken after the coalescer releases it via _flush_flow.
+        self._held[key] = (segment, direction, timer)  # analyze: ok(POOL01): pre-delivery hold, flushed before the recycle point
         return []
 
     def _flush_flow(self, key) -> None:

@@ -25,6 +25,13 @@ from repro.net.path import PathElement
 
 
 class OptionStripper(PathElement):
+    # Synchronous same-direction transform.  An activation time means
+    # reading self.sim.now, which is the wrong clock on a cut path's
+    # reverse direction — shard_safe_now() declines cut placement for
+    # those instances; the always-on form is safe.
+    shard_safe = True
+    shard_stats = ("stripped",)
+
     def __init__(
         self,
         kinds: Iterable[int] = (KIND_MPTCP,),
@@ -42,11 +49,10 @@ class OptionStripper(PathElement):
         # A route change mid-connection can move the flow onto a
         # stripping path: options pass until this (simulated) time.
         self.active_after = active_after
-        # Synchronous same-direction transform — but an activation time
-        # means reading self.sim.now, which is the wrong clock on a cut
-        # path's reverse direction, so only the always-on form is safe.
-        self.shard_safe = active_after == 0.0
         self.stripped = 0
+
+    def shard_safe_now(self) -> bool:
+        return self.active_after == 0.0
 
     def process(self, segment: Segment, direction: int) -> list[tuple[Segment, int]]:
         if self.direction is not None and direction != self.direction:
@@ -82,6 +88,7 @@ class AddAddrFilter(PathElement):
 
     # Synchronous same-direction option filter: no clock, no injection.
     shard_safe = True
+    shard_stats = ("filtered",)
 
     def __init__(self, name: str = "AddAddrFilter"):
         super().__init__(name)

@@ -25,6 +25,17 @@ from repro.sim.shard import (
 )
 
 
+def _element_shard_safe(element: Any) -> bool:
+    """Cut-placement gate: the class-level ``shard_safe`` declaration
+    (statically checked by SHD01) refined by the instance's
+    ``shard_safe_now()`` hook — both must agree before an element may
+    straddle a shard boundary."""
+    if not getattr(element, "shard_safe", False):
+        return False
+    hook = getattr(element, "shard_safe_now", None)
+    return bool(hook()) if callable(hook) else True
+
+
 class Network:
     """A simulator plus the hosts and paths of one experiment.
 
@@ -146,9 +157,9 @@ class Network:
             # the wrong shard's clock.  Otherwise co-locate the hosts.
             if delay <= 0.0:
                 self._colocate(iface_a, iface_b, "the link has zero propagation delay")
-            elif not all(getattr(e, "shard_safe", False) for e in element_list):
+            elif not all(_element_shard_safe(e) for e in element_list):
                 unsafe = [
-                    e.name for e in element_list if not getattr(e, "shard_safe", False)
+                    e.name for e in element_list if not _element_shard_safe(e)
                 ]
                 self._colocate(
                     iface_a,

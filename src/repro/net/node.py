@@ -194,12 +194,19 @@ class Host:
         # and nothing in the stack stores the object itself, so once the
         # socket has processed it the shell can return to the pool.  The
         # refcount equality proves the socket (or anything it called)
-        # kept no new reference; pre-existing referers (traces store
-        # copies, middleboxes only hold payload-bearing segments) are
-        # excluded by the flags/payload test and the opt-in flag.
+        # kept no new reference.  Pre-existing referers are outside that
+        # proof: a trace stores copies, and a middlebox hold (Reorderer
+        # parks pure ACKs too) keeps the refcount baseline elevated so
+        # the equality check simply declines to recycle.  A post_event
+        # hook is the one referer that observes the segment *after* this
+        # branch returns — the run loop hands it the executed event,
+        # whose argument slot still aliases the segment — so recycling
+        # must stand down while a hook is attached, exactly as the Event
+        # pool does (sim/engine.py).
         network = self.network
         if (
             not hooks
+            and self.sim.post_event is None
             and segment.payload_len == 0
             and segment.flags == ACK
             and network is not None

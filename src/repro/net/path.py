@@ -58,6 +58,19 @@ class PathElement:
         assert self.path is not None, "element not attached to a path"
         return self.path.sim
 
+    def shard_safe_now(self) -> bool:
+        """Runtime refinement of the class-level ``shard_safe`` promise.
+
+        The class attribute is the static declaration (what the SHD01
+        analyzer checks); this hook lets a statically-safe element
+        decline cut placement for *this instance's configuration* (e.g.
+        an OptionStripper with a future activation time needs the clock
+        and must be colocated).  Never widen: returning True when the
+        class declares False would bypass the static purity check, so
+        the base implementation anchors on the class flag.
+        """
+        return self.shard_safe
+
     def process(self, segment: Segment, direction: int) -> list[tuple[Segment, int]]:
         """Transform one segment.
 

@@ -46,7 +46,7 @@ class TraceRecord:
             parts.append(f"ack={seg.ack}")
         parts.append(f"win={seg.window}")
         if seg.payload:
-            parts.append(f"len={len(seg.payload)}")
+            parts.append(f"len={seg.payload_len}")
         if seg.options:
             names = ",".join(type(option).__name__ for option in seg.options)
             parts.append(f"[{names}]")

@@ -1,0 +1,58 @@
+"""HOT01 fixture: allocation sites inside the Simulator.run closure.
+
+The hot closure is seeded from ``Simulator.run`` and every callback
+reference handed to the scheduling API; allocation sites in closure
+functions are findings once the function exceeds its committed budget
+(unlisted functions have a budget of zero).  ``cold`` is never reached
+from the loop and allocates freely.
+"""
+
+
+class Simulator:
+    def __init__(self):
+        self.queue: list = []
+
+    def schedule(self, delay, callback):
+        self.queue.append((delay, callback))
+
+    def run(self):
+        pending = [entry for entry in self.queue]  # line 19: HOT01 (comprehension)
+        while pending:
+            _, callback = pending.pop()
+            callback()
+            self.tick()
+
+    def tick(self):
+        stats = {"events": 1}  # line 26: HOT01 (dict literal)
+        label = f"tick:{len(stats)}"  # line 27: HOT01 (f-string)
+        return label
+
+
+def tock(segment):
+    size = len(segment.payload)  # line 32: HOT01 (len(payload))
+    sink = lambda: size  # line 33: HOT01 (lambda)
+    return sink
+
+
+def budgeted():
+    # over a committed budget of 1 (hot01_budget.json): both sites flag
+    first = [1]  # line 39: HOT01 (list literal, over budget)
+    second = [2]  # line 40: HOT01 (list literal, over budget)
+    return first, second
+
+
+def waived_hot():
+    return list(range(3))  # analyze: ok(HOT01): fixture demonstrates a waiver
+
+
+def cold():
+    # fine: unreachable from Simulator.run, allocation is free
+    return [value for value in range(10)]
+
+
+def main():
+    sim = Simulator()
+    sim.schedule(0.1, tock)
+    sim.schedule(0.2, budgeted)
+    sim.schedule(0.3, waived_hot)
+    sim.run()

@@ -1,0 +1,89 @@
+"""POOL01 fixture: pooled Segment shells escaping the recycle point.
+
+``Segment.acquire`` results and the ``segment`` parameter of the
+pooled-entry methods (``segment_arrives`` / ``deliver`` / ``process``)
+are pooled values; storing one on an attribute or into a container,
+capturing it in a closure, releasing it outside the owner modules, or
+touching the pool directly are all findings.  ``copy()`` / ``to_wire()``
+launder a pooled value into a safe one.
+"""
+
+
+class Segment:
+    _pool: list = []
+
+    @classmethod
+    def acquire(cls):
+        return cls._pool.pop() if cls._pool else cls()
+
+    def release(self):
+        pass
+
+    def copy(self):
+        return Segment()
+
+    def to_wire(self):
+        return b""
+
+
+class Keeper:
+    def __init__(self):
+        self.last = None
+        self.held: dict = {}
+        self.log: list = []
+
+    def segment_arrives(self, segment):
+        self.last = segment  # line 36: POOL01 (attribute store)
+        self.held[1] = segment  # line 37: POOL01 (container store)
+        self.log.append(segment)  # line 38: POOL01 (mutator call)
+        stash(segment)
+
+    def deliver(self, segment):
+        def replay():
+            return segment  # line 42: POOL01 (closure capture)
+
+        segment.release()  # line 45: POOL01 (release outside owners)
+        return replay
+
+
+class Copier:
+    def __init__(self):
+        self.last = None
+        self.wire = b""
+
+    def process(self, segment, direction):
+        # fine: blessed copy/to_wire boundaries launder the reference
+        self.last = segment.copy()
+        self.wire = segment.to_wire()
+        return [(segment, direction)]
+
+
+class Waived:
+    def __init__(self):
+        self.parked = None
+
+    def segment_arrives(self, segment):
+        self.parked = segment  # analyze: ok(POOL01): fixture demonstrates a waiver
+
+
+class Sink:
+    def __init__(self):
+        self.log: list = []
+
+
+SINK = Sink()
+
+
+def stash(segment):
+    # pooled via the interprocedural argument from segment_arrives
+    SINK.log.append(segment)
+
+
+def fresh():
+    shell = Segment.acquire()
+    return shell  # returns-pooled: callers of fresh() get a pooled value
+
+
+def chained():
+    segment = fresh()
+    Segment._pool.append(segment)

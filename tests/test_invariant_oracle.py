@@ -197,6 +197,51 @@ def tcp_transfer_with_capture(net, client, server, payload, capture):
     return received
 
 
+class TestRecycledShellHazard:
+    def test_segment_recycling_stands_down_under_post_event_hook(self):
+        """Regression (POOL01 fallout): Host.deliver's pure-ACK recycling
+        used to run even with a post_event hook attached.  The run loop
+        hands the hook the executed event, whose argument slot still
+        aliases the segment — so the hook could observe (and retain) a
+        shell already returned to the pool.  The Event pool always stood
+        down under a hook (sim/engine.py); the Segment pool must too."""
+        from repro.net.packet import ACK
+
+        net, client, server = make_tcp_pair(seed=33)
+        net.recycle_segments = True
+        previous = net.sim.post_event
+        pure_acks_seen = 0
+        recycled_at_hook_time = []
+
+        def event_args(event):
+            if isinstance(event, (tuple, list)):
+                return event[3:]  # heap entry: (time, seq, fn, a0[, a1])
+            nargs = getattr(event, "nargs", None)
+            if nargs is None:
+                return ()  # a Timer: callback closure, no arg slots
+            if nargs > 2:
+                return tuple(event.a0)
+            return (event.a0, event.a1)[:nargs]
+
+        def hook(event):
+            nonlocal pure_acks_seen
+            for arg in event_args(event):
+                if isinstance(arg, Segment):
+                    if arg.payload_len == 0 and arg.flags == ACK:
+                        pure_acks_seen += 1
+                    if any(arg is shell for shell in Segment._pool):
+                        recycled_at_hook_time.append(arg)
+            if previous is not None:
+                previous(event)
+
+        net.sim.post_event = hook
+        payload = random_payload(40_000, seed=33)
+        result = tcp_transfer(net, client, server, payload, duration=60)
+        assert bytes(result.received) == payload
+        assert pure_acks_seen > 0  # the transfer exercised the hazard path
+        assert recycled_at_hook_time == []
+
+
 class TestLifecycle:
     def test_attach_refuses_an_occupied_hook(self):
         net = Network(seed=1)
