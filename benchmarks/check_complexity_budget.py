@@ -1,0 +1,101 @@
+"""CI ratchet for the CPX01 growth-complexity budget.
+
+CPX01 (``repro.analyze``) fails when a hot-path function runs *more*
+linear scans against growth-class state than its committed budget
+(``src/repro/analyze/complexity_budget.json``); this script guards the
+other direction: it re-measures the scan sites and fails when the
+committed file is *looser* than reality — an entry above the measured
+count (slack a future regression could hide under) or an entry for a
+function that no longer scans (dead weight).  Together the two checks
+make the budget a true ratchet: per-event scan counts can only go
+down, and every reduction must be committed.
+
+Usage: python benchmarks/check_complexity_budget.py [repo_root] [--write]
+
+``--write`` regenerates the budget file from the current measurement
+(the sanctioned way to tighten the ratchet after indexing a scan).
+The measured-vs-committed diff is always written to
+``complexity-budget-diff.json`` in the repo root so CI can upload it
+as an artifact.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+
+def main(argv: list[str]) -> int:
+    args = [a for a in argv[1:] if a != "--write"]
+    write = "--write" in argv[1:]
+    root = Path(args[0]) if args else Path(__file__).resolve().parent.parent
+    sys.path.insert(0, str(root / "src"))
+    from repro.analyze import complexity
+
+    budget_path = root / "src" / "repro" / "analyze" / complexity.BUDGET_FILENAME
+    committed = complexity.load_budget(budget_path)
+    try:
+        measured = complexity.measure_paths([str(root / "src")])
+    except SyntaxError as exc:
+        print(f"FAIL: source tree does not parse: {exc}")
+        return 1
+
+    slack = {
+        key: {"committed": committed[key], "measured": measured.get(key, 0)}
+        for key in committed
+        if committed[key] > measured.get(key, 0) and key in measured
+    }
+    dead = sorted(key for key in committed if key not in measured)
+    over = {
+        key: {"committed": committed.get(key, 0), "measured": measured[key]}
+        for key in measured
+        if measured[key] > committed.get(key, 0)
+    }
+    diff = {
+        "committed_functions": len(committed),
+        "measured_functions": len(measured),
+        "committed_sites": sum(committed.values()),
+        "measured_sites": sum(measured.values()),
+        "slack": slack,
+        "dead_entries": dead,
+        "over_budget": over,
+    }
+    (root / "complexity-budget-diff.json").write_text(
+        json.dumps(diff, indent=2) + "\n", encoding="utf-8"
+    )
+    print(
+        f"complexity budget: {len(measured)} functions / {sum(measured.values())} "
+        f"scan sites measured, {len(committed)} / {sum(committed.values())} committed"
+    )
+
+    if write:
+        budget_path.write_text(
+            json.dumps(dict(sorted(measured.items())), indent=2) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {budget_path}")
+        return 0
+
+    failures = []
+    for key, entry in sorted(slack.items()):
+        failures.append(
+            f"slack: {key} budgeted {entry['committed']} but measures "
+            f"{entry['measured']} — tighten with --write"
+        )
+    for key in dead:
+        failures.append(f"dead entry: {key} no longer scans growth-class state")
+    for key, entry in sorted(over.items()):
+        failures.append(
+            f"over budget: {key} measures {entry['measured']} against "
+            f"{entry['committed']} (CPX01 will flag the sites)"
+        )
+    if failures:
+        print()
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("complexity budget ratchet: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -7,8 +7,11 @@ module builds a deliberately over-approximate call graph:
 
 * ``name()`` calls resolve to same-module functions, then to
   ``from x import name`` targets;
-* ``self.m()`` / ``cls.m()`` resolve within the enclosing class, falling
-  back to any project method named ``m``;
+* ``self.m()`` / ``cls.m()`` resolve within the enclosing class — plus
+  every override of ``m`` in a (transitive, name-matched) subclass,
+  because the receiver may be the subclass (virtual dispatch: the
+  TCPSocket event path invoking Subflow hooks is the MPTCP datapath) —
+  falling back to any project method named ``m``;
 * ``obj.m()`` resolves to an imported module's function when ``obj`` is
   a module alias, otherwise to **every** project method named ``m``;
 * a nested function (callback/closure) is treated as called by the
@@ -91,6 +94,14 @@ class _ModuleIndexer(ast.NodeVisitor):
 
     # -- definitions ----------------------------------------------------
     def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        for base in node.bases:
+            name = None
+            if isinstance(base, ast.Name):
+                name = base.id
+            elif isinstance(base, ast.Attribute):
+                name = base.attr
+            if name is not None:
+                self.project.class_bases.setdefault(node.name, set()).add(name)
         self.class_stack.append(node.name)
         self.generic_visit(node)
         self.class_stack.pop()
@@ -254,6 +265,7 @@ class Project:
         self.worker_entry_refs: list[tuple[str, dict, str]] = []
         self.partial_aliases: dict[tuple[str, str], str] = {}  # (posix, name) -> ref
         self.decorator_refs: list[tuple[str, str, str]] = []  # (posix, ref, decorated fid)
+        self.class_bases: dict[str, set[str]] = {}  # class name -> base names
 
         for ctx in contexts:
             self._register_module_name(ctx)
@@ -263,6 +275,7 @@ class Project:
             self.module_imports[ctx.posix] = indexer.imports
 
         self.callees: dict[str, set[str]] = {fid: set() for fid in self.functions}
+        self._descendants = self._class_descendants()
         self._resolve_edges()
         self.schedule_tainted = self._backward_closure(self._schedule_seeds())
         self.worker_reachable = self._forward_closure(self._worker_seeds())
@@ -282,6 +295,27 @@ class Project:
             self.methods_by_name.setdefault(info.name, []).append(info.fid)
         else:
             self.module_functions.setdefault((info.posix, info.name), info.fid)
+
+    def _class_descendants(self) -> dict[str, set[str]]:
+        """Base class name -> every (transitively) derived class name.
+        Name-matched across files: over-approximate, which errs toward
+        more reachability — the safe direction for every rule here."""
+        ancestors: dict[str, set[str]] = {}
+        for name in self.class_bases:
+            seen: set[str] = set()
+            frontier = [name]
+            while frontier:
+                current = frontier.pop()
+                for base in self.class_bases.get(current, ()):
+                    if base not in seen:
+                        seen.add(base)
+                        frontier.append(base)
+            ancestors[name] = seen
+        descendants: dict[str, set[str]] = {}
+        for derived, bases in ancestors.items():
+            for base in bases:
+                descendants.setdefault(base, set()).add(derived)
+        return descendants
 
     # -- edge resolution ------------------------------------------------
     def _resolve_name(self, posix: str, name: str, _depth: int = 0) -> list[str]:
@@ -338,9 +372,19 @@ class Project:
                         if self.functions[mid].class_name == info.class_name
                         and self.functions[mid].posix == info.posix
                     ]
-                    self.callees[fid].update(
-                        same_class or self.methods_by_name.get(name, [])
-                    )
+                    if same_class:
+                        # Virtual dispatch: the receiver may be any
+                        # subclass, so overrides of a self-called method
+                        # are reachable too.
+                        below = self._descendants.get(info.class_name or "", set())
+                        overrides = [
+                            mid
+                            for mid in self.methods_by_name.get(name, [])
+                            if self.functions[mid].class_name in below
+                        ]
+                        self.callees[fid].update(same_class + overrides)
+                    else:
+                        self.callees[fid].update(self.methods_by_name.get(name, []))
                 else:  # generic attribute call
                     target = self.module_imports.get(info.posix, {}).get(receiver)
                     if target is not None and target[0] == "module":

@@ -1,7 +1,9 @@
 """The rule set: DET01/DET02/DET03 (determinism), SEQ01 (wrap safety),
 EXC01 (silent failure), MUT01 (worker-process state), DOM01 (SSN/DSN
 sequence-domain dataflow), FSM01 (state-machine spec conformance),
-WVR01 (stale waivers).
+POOL01 (pooled-shell escape), SHD01 (shard purity), HOT01 (hot-path
+allocation budget), CPX01 (growth-class complexity budget), FED01
+(federation lookahead safety), WVR01 (stale waivers).
 
 Each rule is a small class with a ``code``, a human ``title``, a
 ``rationale`` shown by ``--list-rules``, an ``allow`` tuple of path
@@ -740,6 +742,63 @@ class Hot01HotPathAllocations(Rule):
 
 
 # ---------------------------------------------------------------------------
+# CPX01 — growth-class complexity budget
+# ---------------------------------------------------------------------------
+class Cpx01GrowthComplexity(Rule):
+    code = "CPX01"
+    title = "no per-event scans over unbounded-growth state"
+    rationale = (
+        "Collections carry growth classes (CONNECTIONS, SUBFLOWS, MAPPINGS, "
+        "SEGMENTS, BOUNDED) from a seed table plus '# grows:' annotations, "
+        "propagated through assignments and call summaries.  Inside the "
+        "event-loop and federation-worker closures, O(n) idioms over an "
+        "unbounded class — sweeps, list membership, pop(0)/insert(0), "
+        "sort/sorted, min/max/sum reductions, remove/index/count — are "
+        "checked against src/repro/analyze/complexity_budget.json; "
+        "benchmarks/check_complexity_budget.py ratchets the budget so the "
+        "scan count can only move down as accesses get indexed."
+    )
+    # The indexed retransmit structure owns its internal scans: its whole
+    # job is to confine them behind an O(log n)/O(1) interface.
+    allow = ("repro/tcp/rtx.py",)
+    needs_project = True
+
+    def __init__(self, budget_path=None):
+        from repro.analyze import complexity
+
+        self.budget = complexity.load_budget(budget_path)
+
+    def check(self, ctx: FileContext, project) -> Iterator[Finding]:
+        from repro.analyze import complexity
+
+        yield from complexity.check_file(self, ctx, project)
+
+
+# ---------------------------------------------------------------------------
+# FED01 — conservative-parallel lookahead safety
+# ---------------------------------------------------------------------------
+class Fed01LookaheadSafety(Rule):
+    code = "FED01"
+    title = "cut messages must respect lookahead and the wire codec"
+    rationale = (
+        "The sharded federation is conservative-parallel: a barrier window "
+        "is only safe because every cross-shard message arrives at least "
+        "one cut delay in the future.  PR 7 enforces that at runtime "
+        "(add_cut raises on delay <= 0); this pass proves it statically — "
+        "non-positive cut delays, zero-delay scheduling reachable from "
+        "boundary delivery, cross-shard payloads bypassing Segment.to_wire/"
+        "segment_from_wire, and shard_safe elements holding cross-window "
+        "mutable state are all findings."
+    )
+    needs_project = True
+
+    def check(self, ctx: FileContext, project) -> Iterator[Finding]:
+        from repro.analyze import federation
+
+        yield from federation.check_file(self, ctx, project)
+
+
+# ---------------------------------------------------------------------------
 # WVR01 — stale waivers (evaluated by the engine after the other rules)
 # ---------------------------------------------------------------------------
 class Wvr01StaleWaiver(Rule):
@@ -818,6 +877,8 @@ ALL_RULES: tuple[Rule, ...] = (
     Pool01PooledEscape(),
     Shd01ShardPurity(),
     Hot01HotPathAllocations(),
+    Cpx01GrowthComplexity(),
+    Fed01LookaheadSafety(),
     Wvr01StaleWaiver(),
 )
 

@@ -37,7 +37,7 @@ class SequenceRewriter(PathElement):
         super().__init__(name)
         self.rng = rng or SeededRNG(0, name)
         self.both_directions = both_directions
-        self._deltas: dict[tuple[Endpoint, Endpoint], int] = {}
+        self._deltas: dict[tuple[Endpoint, Endpoint], int] = {}  # analyze: ok(FED01): per-flow delta ledger, single-instance under the merged cut driver
         self.rewrites = 0
 
     def _delta_for(self, a: Endpoint, b: Endpoint, create: bool) -> int | None:

@@ -362,7 +362,7 @@ class MPTCPConnection:
         primary_local = next(
             (s.local.ip for s in self.subflows if s.local is not None), None
         )
-        local_candidates = list(self.local_extra_addresses)
+        local_candidates = list(self.local_extra_addresses)  # grows: bounded
         if primary_local is not None and primary_local not in local_candidates:
             local_candidates.insert(0, primary_local)
         for local_ip in local_candidates:
@@ -477,7 +477,7 @@ class MPTCPConnection:
         version at or below the initiator's offer, or None when the two
         sets share nothing (the listener then answers without
         MP_CAPABLE and the connection is plain TCP)."""
-        shared = [v for v in self.config.versions if v <= peer_offer]
+        shared = [v for v in self.config.versions if v <= peer_offer]  # grows: bounded
         return max(shared) if shared else None
 
     def tx_wire_dsn(self, offset: int) -> int:
@@ -636,7 +636,7 @@ class MPTCPConnection:
     def kick(self) -> None:
         """Give every subflow (lowest smoothed RTT first) a chance to
         send — the scheduler's "least congested path" preference."""
-        subs = [s for s in self.subflows if not s.failed and s.state.may_send_data]
+        subs = [s for s in self.subflows if not s.failed and s.state.may_send_data]  # grows: bounded
         if len(subs) == 2:
             # The common two-path case: a stable sort of two elements is
             # a single compare-and-swap, no key lambda needed.

@@ -29,7 +29,7 @@ class CoupledGroup:
     """The shared state linking one connection's subflow controllers."""
 
     def __init__(self) -> None:
-        self.controllers: list["LIAController"] = []
+        self.controllers: list["LIAController"] = []  # grows: bounded
         self._alpha_cache: Optional[float] = None
         self._alpha_computed_at: float = -1.0
         self.alpha_recompute_interval = 0.01  # seconds of simulated time

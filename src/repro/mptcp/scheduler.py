@@ -37,6 +37,7 @@ congestion-window space").
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from operator import attrgetter
 from typing import TYPE_CHECKING, Optional
@@ -91,7 +92,9 @@ class Scheduler:
     def __init__(self, connection: "MPTCPConnection"):
         self.connection = connection
         self.inflight: list[TxMapping] = []
-        self.reinject_queue: list[list[int]] = []  # mutable [start, end)
+        # FIFO of mutable [start, end) ranges: consumed from the front
+        # one MSS at a time, so popleft must not shift the tail.
+        self.reinject_queue: deque[list[int]] = deque()  # grows: mappings
         self.batches: dict[int, Batch] = {}  # subflow_id -> Batch
         self.stats = SchedulerStats()
         # Smallest mapping end in ``inflight`` (None when empty): lets a
@@ -175,14 +178,14 @@ class Scheduler:
             entry = self.reinject_queue[0]
             entry[0] = max(entry[0], conn.data_una)
             if entry[0] >= entry[1]:
-                self.reinject_queue.pop(0)
+                self.reinject_queue.popleft()
                 continue
             take = min(max_bytes, entry[1] - entry[0])
             start = entry[0]
             payload = conn.send_stream.peek(start, take)
             entry[0] += take
             if entry[0] >= entry[1]:
-                self.reinject_queue.pop(0)
+                self.reinject_queue.popleft()
             self.stats.reinjections += 1
             self.stats.reinjected_bytes += take
             return (start, payload, take, True)
@@ -327,7 +330,7 @@ class Scheduler:
     def on_subflow_failed(self, subflow: "Subflow") -> None:
         """Queue everything the dead subflow still owed for reinjection."""
         conn = self.connection
-        ranges: list[list[int]] = []
+        ranges: list[list[int]] = []  # grows: bounded
         for mapping in self.inflight:
             if mapping.subflow is subflow and mapping.end > conn.data_una:
                 ranges.append([max(mapping.start, conn.data_una), mapping.end])

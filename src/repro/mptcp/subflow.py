@@ -24,7 +24,9 @@ plain TCP.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
+from operator import attrgetter
 from typing import TYPE_CHECKING, Optional
 
 from repro.net.node import Host
@@ -49,6 +51,9 @@ from repro.mptcp.options import (
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.mptcp.connection import MPTCPConnection
+
+# Bisect key for the ssn_start-ordered mapping table below.
+_ssn_start = attrgetter("ssn_start")
 
 
 @dataclass
@@ -108,7 +113,7 @@ class Subflow(TCPSocket):
         # (learned from MP_JOIN); REMOVE_ADDR carries the peer's ids.
         self.peer_address_id: Optional[int] = 0 if kind == self.KIND_INITIAL else None
         # Receive-side mapping machinery.
-        self._rx_mappings: list[RxMapping] = []
+        self._rx_mappings: list[RxMapping] = []  # grows: mappings
         self._rx_pending = ByteStream()
         self.unmapped_bytes_dropped = 0
         self.checksum_failures = 0
@@ -500,17 +505,18 @@ class Subflow(TCPSocket):
         onto every split segment — idempotency is by design, §3.3.4)."""
         if mapping.ssn_end <= self._rx_pending.head:
             return  # entirely consumed already (duplicate)
+        # The table is kept sorted by ssn_start, so only the equal-start
+        # run can hold a duplicate, and the insertion point after that
+        # run is exactly where append-and-stable-sort used to land the
+        # newcomer.  In-order arrival (the overwhelming case) bisects to
+        # the end: an O(1) append.
         mappings = self._rx_mappings
-        for existing in mappings:
-            if existing.ssn_start == mapping.ssn_start and existing.length == mapping.length:
+        j = bisect_left(mappings, mapping.ssn_start, key=_ssn_start)
+        while j < len(mappings) and mappings[j].ssn_start == mapping.ssn_start:
+            if mappings[j].length == mapping.length:
                 return
-        # Mappings almost always arrive in SSN order: sort only when the
-        # newcomer actually lands out of order.
-        if mappings and mappings[-1].ssn_start > mapping.ssn_start:
-            mappings.append(mapping)
-            mappings.sort(key=lambda m: m.ssn_start)
-        else:
-            mappings.append(mapping)
+            j += 1
+        mappings.insert(j, mapping)
         self.rx_mappings_received += 1
 
     def _on_in_order_data(self, data: Buffer) -> None:
@@ -566,7 +572,7 @@ class Subflow(TCPSocket):
                     conn.on_checksum_failure(self, mapping, payload)
                     return
                 pending.release_to(mapping.ssn_end)
-                self._rx_mappings.remove(mapping)
+                self._remove_mapping(mapping)
                 conn.deliver_chunk(self, mapping.data_start, payload)
                 if mapping.data_fin:
                     conn.on_data_fin(mapping.data_start + mapping.length)
@@ -582,21 +588,42 @@ class Subflow(TCPSocket):
                 data_offset = mapping.data_start + (head - mapping.ssn_start)
                 conn.deliver_chunk(self, data_offset, payload)
                 if head + take >= mapping.ssn_end:
-                    self._rx_mappings.remove(mapping)
+                    self._remove_mapping(mapping)
                     if mapping.data_fin:
                         conn.on_data_fin(mapping.data_start + mapping.length)
 
     def _covering_mapping(self, offset: int) -> Optional[RxMapping]:
-        for mapping in self._rx_mappings:
-            if mapping.ssn_start <= offset < mapping.ssn_end:
-                return mapping
-        return None
+        # Last mapping with ssn_start <= offset; walk left so that with
+        # (hypothetically) overlapping mappings the *earliest* covering
+        # one wins, as the old front-to-back scan guaranteed.  Mappings
+        # are disjoint in practice, so the walk is 0 or 1 step.
+        mappings = self._rx_mappings
+        j = bisect_right(mappings, offset, key=_ssn_start) - 1
+        if j < 0 or mappings[j].ssn_end <= offset:
+            return None
+        while j > 0 and mappings[j - 1].ssn_end > offset:
+            j -= 1
+        return mappings[j]
 
     def _next_mapping_start(self, offset: int) -> Optional[int]:
-        for mapping in self._rx_mappings:
-            if mapping.ssn_start > offset:
-                return mapping.ssn_start
+        mappings = self._rx_mappings
+        j = bisect_right(mappings, offset, key=_ssn_start)
+        if j < len(mappings):
+            return mappings[j].ssn_start
         return None
+
+    def _remove_mapping(self, mapping: RxMapping) -> None:
+        """Drop a consumed mapping: bisect to its equal-start run, then
+        delete the first value-equal entry (what list.remove did, minus
+        the scan from index 0)."""
+        mappings = self._rx_mappings
+        j = bisect_left(mappings, mapping.ssn_start, key=_ssn_start)
+        while j < len(mappings):
+            if mappings[j] == mapping:
+                del mappings[j]
+                return
+            j += 1
+        raise ValueError("mapping not in table")
 
     def rx_pending_bytes(self) -> int:
         """Unmatched in-order subflow bytes (count against the shared

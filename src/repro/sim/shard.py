@@ -279,7 +279,7 @@ class ShardGroup:
             gc.disable()
         try:
             while True:
-                m = min(sim.next_event_time() for sim in sims)
+                m = min(sim.next_event_time() for sim in sims)  # analyze: ok(CPX01): one term per shard, bounded by --shards not workload
                 if m > until:
                     break
                 inclusive = m + self.lookahead > until
@@ -388,7 +388,7 @@ class ShardedClock:
         active = group._active
         if active >= 0:
             return group.sims[active].now
-        return max(sim.now for sim in group.sims)
+        return max(sim.now for sim in group.sims)  # analyze: ok(CPX01): one term per shard, bounded by --shards not workload
 
     def _target(self) -> Simulator:
         group = self._group
@@ -405,7 +405,7 @@ class ShardedClock:
         return self._target().schedule_at(time, fn, *args)
 
     def call_soon(self, fn: Callable[..., Any], *args: Any):
-        return self._target().call_soon(fn, *args)
+        return self._target().call_soon(fn, *args)  # analyze: ok(FED01): intra-shard only — _target() is the running shard's own simulator, never a cut crossing
 
     def post(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
         self._target().post(delay, fn, *args)
@@ -418,7 +418,7 @@ class ShardedClock:
         return self._group.run_merged(until=until, max_events=max_events)
 
     def next_event_time(self) -> float:
-        return min(sim.next_event_time() for sim in self._group.sims)
+        return min(sim.next_event_time() for sim in self._group.sims)  # analyze: ok(CPX01): one term per shard, bounded by --shards not workload
 
     def step(self) -> bool:
         raise ShardingError("step() is not supported on a sharded network")

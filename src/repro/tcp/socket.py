@@ -47,6 +47,7 @@ from repro.sim import Timer
 from repro.tcp.buffer import ByteStream, ReassemblyQueue
 from repro.tcp.cc import CongestionController, NewReno
 from repro.tcp.rtt import RTTEstimator
+from repro.tcp.rtx import RetransmitQueue
 from repro.tcp.seq import SEQ_MOD
 
 _SEQ_HALF = 1 << 31
@@ -148,7 +149,7 @@ class TCPSocket:
         self._fin_pending = False
         self._fin_sent = False
         self._fin_unit_sent: Optional[int] = None
-        self._rtx_queue: list[SentSegment] = []
+        self._rtx_queue = RetransmitQueue()  # grows: segments
         self._lost_bytes = 0  # sum of seq units in lost, un-resent segments
         self._sacked_bytes = 0
         self._highest_sacked = 0
@@ -809,15 +810,14 @@ class TCPSocket:
             right = self._unit_from_ack(right32)
             if right <= left or right > self.snd_nxt + 1:
                 continue
-            for sent in self._rtx_queue:
+            for sent in self._rtx_queue.in_range(left, right):
                 if sent.sacked:
                     continue
-                if sent.start >= left and sent.end <= right:
-                    sent.sacked = True
-                    self._sacked_bytes += sent.length
-                    if sent.lost:
-                        sent.lost = False
-                        self._lost_bytes -= sent.length
+                sent.sacked = True
+                self._sacked_bytes += sent.length
+                if sent.lost:
+                    sent.lost = False
+                    self._lost_bytes -= sent.length
             if right > self._highest_sacked:
                 self._highest_sacked = right
         newly_lost = False
@@ -829,6 +829,7 @@ class TCPSocket:
             if sent.retransmitted and self.sim.now - sent.sent_time < self.rtt.smoothed:
                 continue  # just resent: give it a round trip
             sent.lost = True
+            self._rtx_queue.note_lost(sent)
             self._lost_bytes += sent.length
             newly_lost = True
         if newly_lost and self._recover is None:
@@ -843,6 +844,7 @@ class TCPSocket:
         head = self._rtx_queue[0]
         if not head.sacked and not head.lost:
             head.lost = True
+            self._rtx_queue.note_lost(head)
             self._lost_bytes += head.length
 
     def _retransmit_head(self, partial_ack: bool = False) -> None:
@@ -858,6 +860,7 @@ class TCPSocket:
         for sent in self._rtx_queue:
             if not sent.lost and not sent.sacked:
                 sent.lost = True
+                self._rtx_queue.note_lost(sent)
                 self._lost_bytes += sent.length
 
     def _retransmit_segment(self, sent: SentSegment) -> None:
@@ -885,18 +888,12 @@ class TCPSocket:
 
     def _pop_acked_segments(self, ack_unit: int) -> None:
         queue = self._rtx_queue
-        index = 0
-        for sent in queue:
-            if sent.end <= ack_unit:
-                if sent.lost:
-                    self._lost_bytes -= sent.length
-                if sent.sacked:
-                    self._sacked_bytes -= sent.length
-                index += 1
-            else:
-                break
-        if index:
-            del queue[:index]
+        while queue and queue[0].end <= ack_unit:
+            sent = queue.popleft()
+            if sent.lost:
+                self._lost_bytes -= sent.length
+            if sent.sacked:
+                self._sacked_bytes -= sent.length
         # Mid-segment ACK (a middlebox split the segment): trim the head.
         if queue and queue[0].start < ack_unit:
             head = queue[0]
@@ -908,6 +905,10 @@ class TCPSocket:
             trim_payload = min(trim, len(head.payload))
             head.payload = head.payload[trim_payload:]
             head.start = ack_unit
+            if head.lost:
+                # The lost index is keyed by start: re-index under the
+                # trimmed one, or first_lost() would miss a lost head.
+                queue.note_lost(head)
 
     def _sample_rtt(self, ts: Optional[TimestampsOption], ack_unit: int) -> None:
         if ts is not None and ts.tsecr:
@@ -1018,7 +1019,7 @@ class TCPSocket:
         # (3 blocks with timestamps, fewer with more options).
         # Every _ack_options implementation returns a fresh list, so it
         # may be extended in place.
-        options: list[TCPOption] = self._ack_options()
+        options: list[TCPOption] = self._ack_options()  # grows: bounded
         if extra_options:
             options.extend(extra_options)
         timestamp_cost = 12 if self.ts_enabled else 0
@@ -1111,7 +1112,7 @@ class TCPSocket:
                 break
             # Lost segments (post-RTO go-back-N) are resent before new data.
             if self._lost_bytes > 0:
-                lost = next((s for s in self._rtx_queue if s.lost), None)
+                lost = self._rtx_queue.first_lost()
                 if lost is not None:
                     self._retransmit_segment(lost)
                     continue

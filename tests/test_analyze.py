@@ -147,6 +147,64 @@ def test_hot01_committed_budget_tolerates_sites():
     assert lines.count(39) == 1 and lines.count(40) == 1
 
 
+def test_cpx01_growth_complexity_fixture():
+    report = findings_for("cpx01", "CPX01")
+    # tally's plain for-loop (untagged state) and cold() stay clean;
+    # dict membership and the bounded tag are exempt by construction.
+    assert locations(report, waived=False) == [
+        (30, "CPX01"),
+        (31, "CPX01"),
+        (35, "CPX01"),
+        (46, "CPX01"),
+        (53, "CPX01"),
+        (59, "CPX01"),
+    ]
+    assert locations(report, waived=True) == [(63, "CPX01")]
+
+
+def test_cpx01_committed_budget_tolerates_sites():
+    from repro.analyze.rules import Cpx01GrowthComplexity
+
+    rule = Cpx01GrowthComplexity(budget_path=FIXTURES / "cpx01_budget.json")
+    report = run_analysis([FIXTURES / "cpx01.py"], rules=[rule])
+    lines = [f.line for f in report.findings if not f.waived]
+    # budgeted's single reduction fits its committed budget of 1; the
+    # unbudgeted functions still flag every site.
+    assert 59 not in lines
+    assert {30, 31, 35, 46, 53} <= set(lines)
+
+
+def test_cpx01_class_propagates_through_return_summary():
+    report = findings_for("cpx01", "CPX01")
+    summary = next(f for f in report.findings if f.line == 46)
+    # fetch_mappings' "# grows: return=mappings" reaches the caller.
+    assert "MAPPINGS" in summary.message
+
+
+def test_fed01_lookahead_safety_fixture():
+    report = findings_for("fed01", "FED01")
+    # Positive/non-constant cut delays, delay-carrying schedules,
+    # to_wire()-coded sends and StatelessElement all stay clean.
+    assert locations(report, waived=False) == [
+        (12, "FED01"),
+        (13, "FED01"),
+        (29, "FED01"),
+        (30, "FED01"),
+        (35, "FED01"),
+        (37, "FED01"),
+        (47, "FED01"),
+    ]
+    assert locations(report, waived=True) == [(48, "FED01")]
+
+
+def test_fed01_messages_name_the_contract():
+    report = findings_for("fed01", "FED01")
+    cut = next(f for f in report.findings if f.line == 12)
+    assert "lookahead" in cut.message
+    codec = next(f for f in report.findings if f.line == 35)
+    assert "to_wire" in codec.message
+
+
 def test_fixture_findings_name_the_fixture_file():
     report = findings_for("det01", "DET01")
     assert all(f.path.endswith("tests/fixtures/analyze/det01.py") for f in report.findings)
@@ -227,6 +285,17 @@ def test_hot_budget_ratchet_is_tight():
     assert committed == measured
 
 
+def test_complexity_budget_ratchet_is_tight():
+    """The committed CPX01 budget must match the measured scan counts:
+    no slack entries, no dead entries (check_complexity_budget.py's
+    contract)."""
+    from repro.analyze import complexity
+
+    committed = complexity.load_budget()
+    measured = complexity.measure_paths([REPO_ROOT / "src"])
+    assert committed == measured
+
+
 def test_cli_exit_zero_on_clean_file(tmp_path, capsys):
     clean = tmp_path / "clean.py"
     clean.write_text("def fine():\n    return 1\n")
@@ -261,6 +330,8 @@ def test_cli_list_rules(capsys):
         "POOL01",
         "SHD01",
         "HOT01",
+        "CPX01",
+        "FED01",
         "WVR01",
     ):
         assert code in out

@@ -88,7 +88,7 @@ class TestAllocation:
         assert conn.data_una > 10
         pulled = scheduler._allocate_reinjection(conn.subflows[0], 1448)
         assert pulled is None  # fully clipped, queue drained
-        assert scheduler.reinject_queue == []
+        assert not scheduler.reinject_queue
 
     def test_duplicate_reinjection_ranges_not_queued(self):
         net, client, server = make_multipath()
